@@ -1,0 +1,36 @@
+# Convenience targets for the randrowswap-go reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per table/figure of the paper.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure (writes to stdout; ~20 min single-core).
+experiments:
+	$(GO) run ./cmd/rrs-experiments -exp all -scale 16 -epochs 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/halfdouble
+	$(GO) run ./examples/secanalysis
+	$(GO) run ./examples/blockhammer
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,302 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment at a reduced scale and reports
+// headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// walks the entire evaluation. Use cmd/rrs-experiments for full-size runs
+// and readable tables. Simulation-backed benchmarks default to two
+// contrasting workloads (hot hmmer, cold mcf) at 1 ms epochs; analytic
+// benchmarks run the paper's exact parameters.
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cat"
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/security"
+	"repro/internal/trace"
+)
+
+// benchScale is the reduced experiment scale used by the benchmarks.
+func benchScale(names ...string) experiments.Scale {
+	if len(names) == 0 {
+		names = []string{"hmmer", "mcf"}
+	}
+	var ws []trace.Workload
+	for _, n := range names {
+		w, ok := trace.ByName(n)
+		if !ok {
+			panic("unknown workload " + n)
+		}
+		ws = append(ws, w)
+	}
+	return experiments.Scale{Factor: 64, Epochs: 1, Seed: 0xBE, Workloads: ws}
+}
+
+// BenchmarkTable1RHThresholds renders the threshold history table.
+func BenchmarkTable1RHThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Rows() != 6 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable2Config renders the baseline configuration.
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table2().String()
+	}
+}
+
+// BenchmarkTable3Workloads measures the workload characterization run
+// (footprint / MPKI / hot rows).
+func BenchmarkTable3Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MeasuredHotRows, "hmmer-hot-rows")
+		b.ReportMetric(rows[0].MeasuredMPKI, "hmmer-mpki")
+	}
+}
+
+// BenchmarkTable4AttackTime evaluates the security model at the paper's
+// design points.
+func BenchmarkTable4AttackTime(b *testing.B) {
+	var years float64
+	for i := 0; i < b.N; i++ {
+		m := security.PaperModel(800)
+		years = m.AttackSeconds() / (365.25 * 86400)
+	}
+	b.ReportMetric(years, "attack-years-T800")
+}
+
+// BenchmarkTable5Storage computes the storage accounting.
+func BenchmarkTable5Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table5().String()
+	}
+}
+
+// BenchmarkTable6Power measures DRAM power overhead and SRAM power.
+func BenchmarkTable6Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Table6(benchScale("bzip2"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DRAMOverheadPercent, "dram-overhead-%")
+		b.ReportMetric(res.SRAMPowerMW, "sram-mW")
+	}
+}
+
+// BenchmarkTable7DefenseMatrix runs the attack matrix: victim-focused
+// mitigation vs RRS under double-sided and Half-Double attacks.
+func BenchmarkTable7DefenseMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table7()
+		defendedByRRS := 0
+		for _, r := range rows {
+			if r.Defense == "RRS" && r.Defended {
+				defendedByRRS++
+			}
+		}
+		b.ReportMetric(float64(defendedByRRS), "rrs-defenses")
+	}
+}
+
+// BenchmarkFigure5Swaps measures row-swaps per epoch for a hot and a cold
+// workload.
+func BenchmarkFigure5Swaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure5(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].SwapsPerEpoch, "hmmer-swaps/epoch")
+		b.ReportMetric(rows[1].SwapsPerEpoch, "mcf-swaps/epoch")
+	}
+}
+
+// BenchmarkFigure6Slowdown measures RRS performance normalized to the
+// unprotected baseline.
+func BenchmarkFigure6Slowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Normalized, r.Workload+"-norm")
+		}
+	}
+}
+
+// BenchmarkFigure7Chase runs the optimal anti-RRS attacker.
+func BenchmarkFigure7Chase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Figure7(2)
+		if !res.Defended() {
+			b.Fatal("chase attack broke RRS")
+		}
+		b.ReportMetric(float64(res.Accesses), "attacker-accesses")
+	}
+}
+
+// BenchmarkFigure9CATConflicts runs the buckets-and-balls conflict
+// experiment with Monte Carlo + extrapolation.
+func BenchmarkFigure9CATConflicts(b *testing.B) {
+	o := experiments.DefaultFigure9Options()
+	o.Sets = 16
+	o.DemandWays = 6
+	o.MaxInstalls = 200000
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Figure9(o)
+		if len(pts) > 0 {
+			b.ReportMetric(pts[len(pts)-1].Log10Installs, "log10-installs-6ways")
+		}
+	}
+}
+
+// BenchmarkFigure10ThresholdSweep sweeps T_RH from 0.25x to 4x.
+func BenchmarkFigure10ThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _, err := experiments.Figure10(benchScale("bzip2"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].GeoMean, "norm-0.25x")
+		b.ReportMetric(pts[2].GeoMean, "norm-1x")
+		b.ReportMetric(pts[4].GeoMean, "norm-4x")
+	}
+}
+
+// BenchmarkFigure11SCurve compares RRS against BlockHammer (512 and 1K
+// blacklist thresholds).
+func BenchmarkFigure11SCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, _, err := experiments.Figure11(benchScale("hmmer", "bzip2"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(series[0].Norms[0], "rrs-worst")
+		b.ReportMetric(series[1].Norms[0], "bh512-worst")
+	}
+}
+
+// BenchmarkDoSThrottling measures attacker throughput under each defense
+// (the Section 8.1 comparison).
+func BenchmarkDoSThrottling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.DoS(1)
+		for _, r := range rows {
+			if r.Defense != "None" {
+				b.ReportMetric(r.Slowdown, r.Defense+"-slowdown-x")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTracker compares the CAM and CAT tracker variants
+// inside RRS.
+func BenchmarkAblationTracker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.TrackerAblation(benchScale(), "hmmer")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Normalized, "cat-norm")
+		b.ReportMetric(rows[1].Normalized, "cam-norm")
+	}
+}
+
+// BenchmarkHalfDoubleVsVFM verifies the Figure 1 motivation as a bench:
+// Half-Double defeats idealized victim-focused mitigation.
+func BenchmarkHalfDoubleVsVFM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table7()
+		flips := 0
+		for _, r := range rows {
+			if r.Defense == "Victim-Focused (ideal)" && r.Attack == "half-double" {
+				flips = r.Flips
+			}
+		}
+		if flips == 0 {
+			b.Fatal("Half-Double failed to defeat VFM")
+		}
+		b.ReportMetric(float64(flips), "vfm-halfdouble-flips")
+	}
+}
+
+// BenchmarkMonteCarloCrossCheck validates the analytic attack model
+// against simulation at an observable scale.
+func BenchmarkMonteCarloCrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := security.MonteCarloProbK(256, 512, 5, 50, 42)
+		b.ReportMetric(p, "mc-prob")
+	}
+}
+
+// BenchmarkCATConflictSingle runs one Monte Carlo conflict trial (the raw
+// substrate of Figure 9).
+func BenchmarkCATConflictSingle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := cat.ConflictExperiment{
+			Sets: 16, DemandWays: 6, ExtraWays: 1,
+			MaxInstalls: 100000, Trials: 1, Seed: uint64(i),
+		}.Run()
+		_ = r
+	}
+}
+
+// BenchmarkAttackThroughput measures raw attack-harness speed (accesses
+// per second through the full controller + RRS stack).
+func BenchmarkAttackThroughput(b *testing.B) {
+	cfg := attackConfigForBench()
+	ctl, fm := attack.NewSystem(cfg, 0, attack.Alpha2For(cfg), nil)
+	p := attack.NewDoubleSided(100)
+	b.ResetTimer()
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		res := attack.Run(ctl, fm, p, attack.Options{Epochs: 1, MaxAccesses: 1000})
+		acc += res.Accesses
+	}
+	b.ReportMetric(float64(acc)/float64(b.N), "accesses/op")
+}
+
+func attackConfigForBench() config.Config {
+	cfg := config.Default()
+	cfg.RowsPerBank = 4 << 10
+	cfg.EpochCycles = int64(cfg.TRC) * 2400
+	cfg.RowHammerThreshold = 240
+	return cfg
+}
+
+// BenchmarkProbabilisticVariant runs the footnote-1 ablation: tracked vs
+// state-less RRS swap rates.
+func BenchmarkProbabilisticVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.TrackerVsProbabilistic(benchScale("mcf"), "mcf")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].SwapsPerEpoch, "tracked-swaps")
+		b.ReportMetric(rows[1].SwapsPerEpoch, "stateless-swaps")
+	}
+}
+
+// BenchmarkAttackDetection runs the footnote-2 detector experiment.
+func BenchmarkAttackDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.AttackDetection(4)
+		b.ReportMetric(float64(res.AttackDetections), "attack-detections")
+		b.ReportMetric(float64(res.AttackFlips), "flips")
+	}
+}

@@ -1,0 +1,149 @@
+// Command rrs-attack launches Row Hammer attack patterns against a chosen
+// defense and reports whether bit flips occurred.
+//
+// Usage:
+//
+//	rrs-attack -pattern halfdouble -defense graphene
+//	rrs-attack -pattern chase -defense rrs -epochs 10
+//	rrs-attack -pattern doublesided -defense none
+//
+// Patterns: singlesided, doublesided, manysided, halfdouble, chase.
+// Defenses: none, para, graphene, graphene2 (blast radius 2), ideal, rrs,
+// blockhammer.
+//
+// The system runs at the attack scale (T_RH = 240, 2400 activations per
+// epoch) where the disturbance model's security margins are proportional
+// to the paper's full-scale parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+)
+
+func main() {
+	var (
+		pattern = flag.String("pattern", "doublesided", "attack pattern")
+		defense = flag.String("defense", "rrs", "defense under attack")
+		epochs  = flag.Int("epochs", 3, "attack duration in refresh epochs")
+		victim  = flag.Int("victim", 100, "victim row for targeted patterns")
+		seed    = flag.Uint64("seed", 7, "random seed for the chase pattern")
+	)
+	flag.Parse()
+
+	cfg := attackConfig()
+	p, err := makePattern(*pattern, cfg, *victim, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mit, err := makeDefense(*defense)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctl, fm := attack.NewSystem(cfg, 0, attack.Alpha2For(cfg), mit)
+	res := attack.Run(ctl, fm, p, attack.Options{Epochs: *epochs})
+
+	fmt.Printf("pattern:  %s (victim row %d)\n", res.Pattern, *victim)
+	fmt.Printf("defense:  %s\n", *defense)
+	fmt.Printf("duration: %d epochs, %d attacker accesses\n", *epochs, res.Accesses)
+	fmt.Printf("attacker access rate: %.5f/cycle\n\n", res.AccessRate)
+	if res.Defended() {
+		fmt.Println("RESULT: defended — no bit flips")
+	} else {
+		fmt.Printf("RESULT: DEFEATED — %d bit flip(s), first at cycle %d\n",
+			res.Flips, res.FirstFlipTime)
+		for i, f := range fm.Flips() {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more\n", len(fm.Flips())-10)
+				break
+			}
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if r, ok := ctl.Mitigation().(*core.RRS); ok {
+		st := r.Stats()
+		fmt.Printf("\nRRS activity: %d swaps (%d re-swaps), %d eviction un-swaps\n",
+			st.Swaps, st.Reswaps, st.EvictionUnswaps)
+	}
+}
+
+func attackConfig() config.Config {
+	cfg := config.Default()
+	cfg.RowsPerBank = 4 << 10
+	cfg.EpochCycles = int64(cfg.TRC) * 2400
+	cfg.RowHammerThreshold = 240
+	return cfg
+}
+
+func makePattern(name string, cfg config.Config, victim int, seed uint64) (attack.Pattern, error) {
+	switch name {
+	case "singlesided":
+		return attack.NewSingleSided(victim, cfg.RowsPerBank), nil
+	case "doublesided":
+		return attack.NewDoubleSided(victim), nil
+	case "manysided":
+		return attack.NewManySided(victim, 8), nil
+	case "halfdouble":
+		return attack.NewHalfDouble(victim), nil
+	case "chase":
+		return attack.NewRandomChase(cfg.RowHammerThreshold/6, cfg.RowsPerBank, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func makeDefense(name string) (func(*dram.System) memctrl.Mitigation, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "para":
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewPARA(sys,
+				mitigation.DefaultPARAProbability(sys.Config().RowHammerThreshold), 7)
+		}, nil
+	case "graphene", "graphene2":
+		radius := 1
+		if name == "graphene2" {
+			radius = 2
+		}
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewGraphene(sys,
+				mitigation.DefaultGrapheneThreshold(sys.Config().RowHammerThreshold), radius, 7)
+		}, nil
+	case "ideal":
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewIdeal(sys,
+				mitigation.DefaultGrapheneThreshold(sys.Config().RowHammerThreshold))
+		}, nil
+	case "rrs":
+		return func(sys *dram.System) memctrl.Mitigation {
+			r, err := core.New(sys, core.DefaultParams(sys.Config()))
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}, nil
+	case "blockhammer":
+		return func(sys *dram.System) memctrl.Mitigation {
+			p := mitigation.DefaultBlockHammerParams()
+			p.BlacklistThreshold = 60
+			return mitigation.NewBlockHammer(sys, p)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown defense %q", name)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rrs-attack: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command rrs-security evaluates the analytical security model of RRS:
+// the expected time to a successful Row Hammer attack as a function of the
+// swap threshold, duty cycles, and a Monte Carlo cross-check of the
+// buckets-and-balls formula.
+//
+// Usage:
+//
+//	rrs-security
+//	rrs-security -trh 4800 -threshold 800
+//	rrs-security -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/security"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		trh       = flag.Int("trh", 4800, "Row Hammer threshold")
+		threshold = flag.Int("threshold", 800, "RRS swap threshold T")
+		sweep     = flag.Bool("sweep", false, "sweep thresholds around T_RH/k for k=2..10")
+		mc        = flag.Bool("montecarlo", false, "run the Monte Carlo cross-check")
+	)
+	flag.Parse()
+
+	if *sweep {
+		t := stats.NewTable("T", "k", "Balls/iter", "Attack iterations", "Attack time")
+		for k := 2; k <= 10; k++ {
+			T := *trh / k
+			m := security.PaperModel(T)
+			m.RowHammerThreshold = *trh
+			t.AddRow(T, k, fmt.Sprintf("%.0f", m.Balls()),
+				fmt.Sprintf("%.3g", m.AttackIterations()),
+				security.FormatDuration(m.AttackSeconds()))
+		}
+		fmt.Print(t.String())
+		return
+	}
+
+	m := security.PaperModel(*threshold)
+	m.RowHammerThreshold = *trh
+	fmt.Printf("Model: N=%d rows/bank, A=%d ACT/epoch, D=%.3f, T=%d, T_RH=%d (k=%d)\n\n",
+		m.RowsPerBank, m.ACTMax, m.DutyCycle, m.SwapThreshold, m.RowHammerThreshold, m.K())
+	fmt.Printf("Balls per iteration (A*D/T):   %.0f\n", m.Balls())
+	fmt.Printf("P(row gets k swaps) per epoch: %.3g\n", m.ExpectedRowsWithKSwaps(m.K())/float64(m.RowsPerBank))
+	fmt.Printf("Expected attack iterations:    %.3g\n", m.AttackIterations())
+	fmt.Printf("Expected attack time:          %s\n", security.FormatDuration(m.AttackSeconds()))
+
+	all := security.AllBankPaperModel(*threshold)
+	all.RowHammerThreshold = *trh
+	fmt.Printf("All-bank attack time (D=0.55): %s\n", security.FormatDuration(all.AttackSeconds()))
+
+	fmt.Printf("\nDuty cycle model: single-bank %.3f, all-bank %.3f\n",
+		security.DutyCycle(*threshold, 45e-9, 2.9e-6, 1),
+		security.DutyCycle(*threshold, 45e-9, 2.9e-6, 8))
+
+	if *mc {
+		fmt.Println("\nMonte Carlo cross-check (scaled: 256 buckets, 512 balls, k=5):")
+		scaled := security.Model{RowsPerBank: 256, ACTMax: 512, DutyCycle: 1,
+			SwapThreshold: 1, RowHammerThreshold: 5, Banks: 1}
+		fmt.Printf("  analytic P(>=k) = %.4g\n", scaled.ProbAtLeastK(5))
+		fmt.Printf("  simulated       = %.4g\n", security.MonteCarloProbK(256, 512, 5, 2000, 42))
+	}
+}

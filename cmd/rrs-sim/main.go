@@ -1,0 +1,137 @@
+// Command rrs-sim runs one workload on the simulated memory system with a
+// chosen Row Hammer mitigation and prints performance and mitigation
+// statistics.
+//
+// Usage:
+//
+//	rrs-sim -workload bzip2 -mitigation rrs -scale 16 -epochs 2
+//	rrs-sim -workload hmmer -mitigation blockhammer -blacklist 512
+//	rrs-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "bzip2", "workload name from the catalog")
+		mit       = flag.String("mitigation", "rrs", "none | rrs | rrs-cam | para | graphene | ideal | blockhammer")
+		scale     = flag.Int("scale", 16, "epoch shrink factor (1 = full 64 ms epochs)")
+		epochs    = flag.Int("epochs", 2, "simulated epochs")
+		seed      = flag.Uint64("seed", 1, "trace seed")
+		blacklist = flag.Uint("blacklist", 512, "BlockHammer blacklist threshold (at full scale)")
+		list      = flag.Bool("list", false, "list catalog workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range trace.AllWorkloads() {
+			fmt.Println(w)
+		}
+		return
+	}
+
+	w, ok := trace.ByName(*workload)
+	if !ok {
+		fatalf("unknown workload %q (use -list)", *workload)
+	}
+	cfg := config.Default().Scaled(*scale)
+
+	factory, err := mitigationFactory(*mit, *scale, uint32(*blacklist))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	res, err := sim.Run(sim.Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		Mitigation:          factory,
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          int64(*epochs) * cfg.EpochCycles,
+		Seed:                *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("workload:   %s\n", w)
+	fmt.Printf("config:     %s (scale 1/%d)\n", cfg, *scale)
+	fmt.Printf("mitigation: %s\n\n", *mit)
+	fmt.Printf("IPC (per core):        %.4f\n", res.IPC)
+	fmt.Printf("instructions:          %d\n", res.Instructions)
+	fmt.Printf("bus cycles:            %d (%d epochs)\n", res.Cycles, res.Epochs)
+	fmt.Printf("memory accesses:       %d (MPKI %.2f)\n", res.Accesses, res.MPKI)
+	fmt.Printf("row hits/misses/conf:  %d / %d / %d\n",
+		res.MemStats.RowHits, res.MemStats.RowMisses, res.MemStats.RowConflicts)
+	fmt.Printf("hot rows per epoch:    %.1f\n", res.HotRowsPerEpoch)
+	fmt.Printf("DRAM avg power:        %.0f mW\n", res.Energy.AvgPowerMW)
+
+	if r, ok := res.Mitigation.(*core.RRS); ok {
+		st := r.Stats()
+		fmt.Printf("\nRRS: swaps/epoch %.1f, reswaps %d, eviction un-swaps %d, "+
+			"dest re-rolls %d, skipped %d, channel-block cycles %d\n",
+			res.SwapsPerEpoch, st.Reswaps, st.EvictionUnswaps, st.DestRerolls,
+			st.SkippedSwaps, st.BlockCycles)
+	}
+	if b, ok := res.Mitigation.(*mitigation.BlockHammer); ok {
+		st := b.Stats()
+		fmt.Printf("\nBlockHammer: blacklisted ACTs %d, delay cycles %d (tDelay %d)\n",
+			st.BlacklistedActs, st.DelayCycles, b.TDelay())
+	}
+}
+
+func mitigationFactory(name string, scale int, blacklist uint32) (func(*dram.System) memctrl.Mitigation, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "rrs", "rrs-cam":
+		return func(sys *dram.System) memctrl.Mitigation {
+			p := core.ScaledParams(sys.Config())
+			p.UseCAMTracker = name == "rrs-cam"
+			r, err := core.New(sys, p)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}, nil
+	case "para":
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewPARA(sys,
+				mitigation.DefaultPARAProbability(sys.Config().RowHammerThreshold), 7)
+		}, nil
+	case "graphene":
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewGraphene(sys,
+				mitigation.DefaultGrapheneThreshold(sys.Config().RowHammerThreshold), 1, 7)
+		}, nil
+	case "ideal":
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewIdeal(sys,
+				mitigation.DefaultGrapheneThreshold(sys.Config().RowHammerThreshold))
+		}, nil
+	case "blockhammer":
+		return func(sys *dram.System) memctrl.Mitigation {
+			p := mitigation.DefaultBlockHammerParams()
+			p.BlacklistThreshold = max(1, blacklist/uint32(max(1, scale)))
+			return mitigation.NewBlockHammer(sys, p)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mitigation %q", name)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rrs-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command rrs-tracegen materializes synthetic workload traces as binary
+// files (the format package trace defines), optionally filtering a raw
+// stream through the LLC model the way Pin-captured traces are filtered
+// before reaching USIMM.
+//
+// Usage:
+//
+//	rrs-tracegen -workload bzip2 -records 1000000 -out bzip2.trc
+//	rrs-tracegen -workload hmmer -records 500000 -llc -out hmmer.trc
+//
+// Files written by this tool can be replayed with rrs-sim-style harnesses
+// via trace.NewFileReader.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bzip2", "workload from the catalog")
+		records  = flag.Int64("records", 1_000_000, "number of records to emit")
+		out      = flag.String("out", "", "output file (default <workload>.trc)")
+		llc      = flag.Bool("llc", false, "filter through the 8MB/16-way LLC model (emits misses and writebacks only)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	w, ok := trace.ByName(*workload)
+	if !ok {
+		fatalf("unknown workload %q", *workload)
+	}
+	path := *out
+	if path == "" {
+		path = w.Name + ".trc"
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	tw := trace.NewWriter(bw)
+
+	cfg := config.Default()
+	gen := trace.NewGenerator(w, trace.GeneratorParams{
+		LineBytes: cfg.LineBytes,
+		RowBytes:  cfg.RowBytes,
+		Seed:      *seed,
+	})
+
+	var llcModel *cache.Cache
+	if *llc {
+		llcModel = cache.New(cfg.LLCBytes, cfg.LLCWays, cfg.LineBytes)
+	}
+
+	var written, pendingGap int64
+	for written < *records {
+		rec, _ := gen.Next()
+		if llcModel != nil {
+			r := llcModel.Access(rec.Line, rec.Write)
+			if r.Hit {
+				// Hits fold into the instruction gap of the next miss.
+				pendingGap += int64(rec.Gap) + 1
+				continue
+			}
+			rec.Gap = saturate(int64(rec.Gap) + pendingGap)
+			pendingGap = 0
+			if err := tw.Write(rec); err != nil {
+				fatalf("write: %v", err)
+			}
+			written++
+			if r.Writeback && written < *records {
+				if err := tw.Write(trace.Record{Line: r.VictimLine, Write: true}); err != nil {
+					fatalf("write: %v", err)
+				}
+				written++
+			}
+			continue
+		}
+		if err := tw.Write(rec); err != nil {
+			fatalf("write: %v", err)
+		}
+		written++
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	fmt.Printf("wrote %d records to %s", written, path)
+	if llcModel != nil {
+		total := llcModel.Hits() + llcModel.Misses()
+		fmt.Printf(" (LLC filtered: %.1f%% hit rate, %d writebacks)",
+			100*float64(llcModel.Hits())/float64(total), llcModel.Writebacks())
+	}
+	fmt.Println()
+}
+
+func saturate(v int64) uint32 {
+	if v > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rrs-tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Randomized Row-Swap:
+// Mitigating Row Hammer by Breaking Spatial Correlation between Aggressor
+// and Victim Rows" (Saileshwar, Wang, Qureshi, Nair — ASPLOS 2022).
+//
+// The library is organized bottom-up:
+//
+//   - internal/prince — the PRINCE low-latency cipher (randomness source)
+//   - internal/cat — the Collision Avoidance Table (scalable storage)
+//   - internal/tracker — Misra-Gries hot-row trackers (CAM and CAT-backed)
+//   - internal/rit — the Row Indirection Table
+//   - internal/core — Randomized Row-Swap itself
+//   - internal/dram, internal/memctrl — the DDR4 memory-system simulator
+//   - internal/cpu, internal/cache, internal/trace — cores and workloads
+//   - internal/mitigation — PARA, Graphene-style, ideal VFM, BlockHammer
+//   - internal/attack — Row Hammer fault model and attack patterns
+//   - internal/security — the Table 4 buckets-and-balls analysis
+//   - internal/power — DRAM energy and SRAM power/storage models
+//   - internal/sim, internal/experiments — harnesses regenerating every
+//     table and figure of the paper's evaluation
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each table and figure:
+//
+//	go test -bench=BenchmarkFigure6 -benchtime=1x
+package repro

@@ -1,0 +1,74 @@
+// Security-analysis example: explore the trade-off that sets T_RRS = 800.
+//
+// It reproduces Table 4's reasoning for a configurable Row Hammer
+// threshold: how long the optimal random-chase attacker needs to land
+// k = T_RH/T swaps on one physical row, how that shifts if DRAM gets more
+// vulnerable, and what the swap rate costs benign workloads.
+//
+//	go run ./examples/secanalysis
+//	go run ./examples/secanalysis -trh 2400
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/security"
+	"repro/internal/stats"
+)
+
+func main() {
+	trh := flag.Int("trh", 4800, "Row Hammer threshold to design for")
+	flag.Parse()
+
+	fmt.Printf("Designing RRS for T_RH = %d (LPDDR4-new class)\n\n", *trh)
+
+	// Sweep the candidate swap thresholds, as the paper does in Table 4.
+	t := stats.NewTable("T (swap threshold)", "k", "swaps/64ms under attack",
+		"expected attack time", "verdict")
+	for k := 4; k <= 8; k++ {
+		T := *trh / k
+		m := security.PaperModel(T)
+		m.RowHammerThreshold = *trh
+		secs := m.AttackSeconds()
+		verdict := "too weak"
+		switch {
+		case secs > 10*365.25*86400:
+			verdict = "very strong"
+		case secs > 365.25*86400:
+			verdict = "strong (> 1 year)"
+		case secs > 86400:
+			verdict = "days only"
+		}
+		t.AddRow(T, k, fmt.Sprintf("%.0f", m.Balls()),
+			security.FormatDuration(secs), verdict)
+	}
+	fmt.Print(t.String())
+
+	// The paper picks the smallest k whose attack time exceeds a year.
+	chosen := 0
+	for k := 4; k <= 12; k++ {
+		m := security.PaperModel(*trh / k)
+		m.RowHammerThreshold = *trh
+		if m.AttackSeconds() > 365.25*86400 {
+			chosen = k
+			break
+		}
+	}
+	if chosen == 0 {
+		fmt.Println("\nNo k up to 12 reaches a year of security at this T_RH.")
+		return
+	}
+	T := *trh / chosen
+	fmt.Printf("\nChosen design point: T_RRS = %d (k = %d)\n", T, chosen)
+	fmt.Printf("  tracker entries per bank:  %d\n", 1360000/T)
+	fmt.Printf("  RIT tuples per bank:       %d\n", 2*1360000/T)
+	fmt.Printf("  duty cycle under attack:   %.3f (single bank), %.3f (all banks)\n",
+		security.DutyCycle(T, 45e-9, 2.9e-6, 1),
+		security.DutyCycle(T, 45e-9, 2.9e-6, 8))
+
+	m := security.PaperModel(T)
+	m.RowHammerThreshold = *trh
+	fmt.Printf("  expected time to first flip under continuous attack: %s\n",
+		security.FormatDuration(m.AttackSeconds()))
+}

@@ -1,0 +1,204 @@
+package attack
+
+import (
+	"repro/internal/prince"
+)
+
+// Pattern produces the sequence of rows an attacker activates within one
+// bank. Patterns alternate between at least two rows so every access
+// causes a row-buffer conflict and hence an activation.
+type Pattern interface {
+	// NextRow returns the next row to access.
+	NextRow() int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// SingleSided is the classic single-aggressor pattern: the aggressor
+// alternates with a distant dummy row to defeat the row buffer.
+type SingleSided struct {
+	Aggressor int
+	Dummy     int
+	flip      bool
+}
+
+// NewSingleSided hammers aggressor, using a dummy row far away to force
+// activations.
+func NewSingleSided(aggressor, rowsPerBank int) *SingleSided {
+	dummy := aggressor + rowsPerBank/2
+	if dummy >= rowsPerBank {
+		dummy -= rowsPerBank
+	}
+	return &SingleSided{Aggressor: aggressor, Dummy: dummy}
+}
+
+// NextRow implements Pattern.
+func (p *SingleSided) NextRow() int {
+	p.flip = !p.flip
+	if p.flip {
+		return p.Aggressor
+	}
+	return p.Dummy
+}
+
+// Name implements Pattern.
+func (p *SingleSided) Name() string { return "single-sided" }
+
+// DoubleSided hammers the two rows sandwiching a victim: V-1 and V+1.
+type DoubleSided struct {
+	Victim int
+	flip   bool
+}
+
+// NewDoubleSided targets victim with aggressors at victim±1.
+func NewDoubleSided(victim int) *DoubleSided { return &DoubleSided{Victim: victim} }
+
+// NextRow implements Pattern.
+func (p *DoubleSided) NextRow() int {
+	p.flip = !p.flip
+	if p.flip {
+		return p.Victim - 1
+	}
+	return p.Victim + 1
+}
+
+// Name implements Pattern.
+func (p *DoubleSided) Name() string { return "double-sided" }
+
+// HalfDouble is Google's distance-two attack: the near-aggressors at
+// victim±2 are hammered heavily; the victim-focused mitigation's refreshes
+// of victim±1 (the near-aggressors' immediate neighbours) become the far
+// aggressor's activations, flipping the victim at distance two.
+type HalfDouble struct {
+	Victim int
+	flip   bool
+}
+
+// NewHalfDouble targets victim with near-aggressors at victim±2.
+func NewHalfDouble(victim int) *HalfDouble { return &HalfDouble{Victim: victim} }
+
+// NextRow implements Pattern.
+func (p *HalfDouble) NextRow() int {
+	p.flip = !p.flip
+	if p.flip {
+		return p.Victim - 2
+	}
+	return p.Victim + 2
+}
+
+// Name implements Pattern.
+func (p *HalfDouble) Name() string { return "half-double" }
+
+// ManySided rotates across n aggressor rows (TRRespass-style), defeating
+// trackers with too few entries.
+type ManySided struct {
+	Rows []int
+	i    int
+}
+
+// NewManySided hammers n consecutive odd rows starting at base,
+// sandwiching the even rows between them.
+func NewManySided(base, n int) *ManySided {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = base + 2*i
+	}
+	return &ManySided{Rows: rows}
+}
+
+// NextRow implements Pattern.
+func (p *ManySided) NextRow() int {
+	r := p.Rows[p.i]
+	p.i = (p.i + 1) % len(p.Rows)
+	return r
+}
+
+// Name implements Pattern.
+func (p *ManySided) Name() string { return "many-sided" }
+
+// RandomChase is the optimal strategy against RRS (Figure 7): activate a
+// uniformly random row exactly T times (so it swaps), then move to another
+// random row, hoping physical locations accumulate multiple swaps' worth
+// of activations (the buckets-and-balls analysis of Section 5).
+type RandomChase struct {
+	// T is the number of activations per chosen row (T_RRS).
+	T int
+	// RowsPerBank bounds the random row choice.
+	RowsPerBank int
+
+	rng     *prince.CTR
+	current int
+	dummy   int
+	left    int
+	flip    bool
+}
+
+// NewRandomChase creates the chase pattern with per-row budget t.
+func NewRandomChase(t, rowsPerBank int, seed uint64) *RandomChase {
+	return &RandomChase{T: t, RowsPerBank: rowsPerBank, rng: prince.Seeded(seed)}
+}
+
+// NextRow implements Pattern. Each chosen row is activated T times,
+// interleaved with a dummy row to force row-buffer conflicts; dummy
+// activations do not count against the budget but do activate — the
+// attacker sacrifices half its activation rate, exactly as a real attack
+// alternating rows would.
+func (p *RandomChase) NextRow() int {
+	p.flip = !p.flip
+	if !p.flip {
+		return p.dummy
+	}
+	if p.left == 0 {
+		p.current = p.rng.Intn(p.RowsPerBank)
+		p.dummy = p.current + p.RowsPerBank/2
+		if p.dummy >= p.RowsPerBank {
+			p.dummy -= p.RowsPerBank
+		}
+		p.left = p.T
+	}
+	p.left--
+	return p.current
+}
+
+// Name implements Pattern.
+func (p *RandomChase) Name() string { return "random-chase" }
+
+// Blacksmith is a frequency-fuzzed many-sided pattern in the spirit of the
+// Blacksmith fuzzer: each aggressor is hammered with its own frequency and
+// phase rather than uniformly, which defeats trackers that key on uniform
+// access counts. Against Misra-Gries tracking (which bounds *counts*, not
+// patterns) and RRS it gains nothing — a property the tests pin down.
+type Blacksmith struct {
+	rows    []int
+	periods []int
+	tick    int
+}
+
+// NewBlacksmith builds a fuzzed pattern over n aggressors starting at
+// base, with per-aggressor periods derived from seed.
+func NewBlacksmith(base, n int, seed uint64) *Blacksmith {
+	rng := prince.Seeded(seed)
+	b := &Blacksmith{}
+	for i := 0; i < n; i++ {
+		b.rows = append(b.rows, base+2*i)
+		b.periods = append(b.periods, 1+rng.Intn(4)) // hammer every 1-4 ticks
+	}
+	return b
+}
+
+// NextRow implements Pattern: the pattern sweeps the aggressor list; row i
+// participates in one of every periods[i] sweeps, giving each aggressor
+// its own hammering frequency.
+func (p *Blacksmith) NextRow() int {
+	for {
+		i := p.tick % len(p.rows)
+		sweep := p.tick / len(p.rows)
+		p.tick++
+		if sweep%p.periods[i] == 0 {
+			return p.rows[i]
+		}
+	}
+}
+
+// Name implements Pattern.
+func (p *Blacksmith) Name() string { return "blacksmith" }

@@ -1,0 +1,114 @@
+// Package cache implements the shared last-level cache in front of the
+// memory system: set-associative with LRU replacement and dirty-line
+// writebacks, matching the paper's 8 MB / 16-way / 64 B configuration.
+// Trace accesses are filtered through it, so only LLC misses (and
+// writebacks) reach the memory controller — the MPKI that Table 3 reports.
+package cache
+
+import "fmt"
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a set-associative cache operating on line addresses (byte
+// address / line size). It is not safe for concurrent use.
+type Cache struct {
+	sets    []line // sets*ways, set-major
+	ways    int
+	setBits uint
+	setMask uint64
+	tick    uint64
+
+	hits       int64
+	misses     int64
+	writebacks int64
+}
+
+// New creates a cache of sizeBytes with the given associativity and line
+// size. sizeBytes/(ways*lineBytes) must be a power of two.
+func New(sizeBytes, ways, lineBytes int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cache: sizes must be positive")
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets not a power of two", sets))
+	}
+	setBits := uint(0)
+	for 1<<setBits < sets {
+		setBits++
+	}
+	return &Cache{
+		sets:    make([]line, sets*ways),
+		ways:    ways,
+		setBits: setBits,
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Result describes one access outcome.
+type Result struct {
+	Hit bool
+	// Writeback is set when a dirty victim must be written to memory;
+	// VictimLine is its line address.
+	Writeback  bool
+	VictimLine uint64
+}
+
+// Access looks up the line address, filling on miss. write marks the line
+// dirty.
+func (c *Cache) Access(lineAddr uint64, write bool) Result {
+	c.tick++
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> c.setBits
+	ss := c.sets[set*c.ways : (set+1)*c.ways]
+
+	for i := range ss {
+		if ss[i].valid && ss[i].tag == tag {
+			c.hits++
+			ss[i].lru = c.tick
+			if write {
+				ss[i].dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.misses++
+	// Choose victim: first invalid, else LRU.
+	vi := 0
+	for i := range ss {
+		if !ss[i].valid {
+			vi = i
+			break
+		}
+		if ss[i].lru < ss[vi].lru {
+			vi = i
+		}
+	}
+	res := Result{}
+	if ss[vi].valid && ss[vi].dirty {
+		res.Writeback = true
+		res.VictimLine = c.reconstruct(ss[vi].tag, uint64(set))
+		c.writebacks++
+	}
+	ss[vi] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return res
+}
+
+// reconstruct rebuilds a line address from tag and set index.
+func (c *Cache) reconstruct(tag, set uint64) uint64 {
+	return tag<<c.setBits | set
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Writebacks returns the dirty-eviction count.
+func (c *Cache) Writebacks() int64 { return c.writebacks }

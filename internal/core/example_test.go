@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// Example shows the RRS life cycle on a scaled system: hammering a row
+// T_RRS times triggers a randomized swap, the row's data moves with it,
+// and the indirection stays transparent.
+func Example() {
+	cfg := config.Default()
+	cfg.RowsPerBank = 4 << 10
+	cfg.EpochCycles = int64(cfg.TRC) * 800 // scaled epoch
+	cfg.RowHammerThreshold = 48            // T_RRS = 8
+
+	sys := dram.New(cfg)
+	rrs, err := core.New(sys, core.DefaultParams(cfg))
+	if err != nil {
+		panic(err)
+	}
+
+	bank := dram.BankID{}
+	sys.SetRowContent(bank, 100, 0xCAFE)
+
+	// Hammer logical row 100 exactly T_RRS times.
+	for i := 0; i < int(rrs.Params().SwapThreshold); i++ {
+		rrs.OnActivate(bank, 100, rrs.Remap(bank, 100), int64(i))
+	}
+
+	phys := rrs.Remap(bank, 100)
+	fmt.Printf("swapped away: %v\n", phys != 100)
+	fmt.Printf("data followed: %v\n", sys.RowContent(bank, phys) == 0xCAFE)
+	fmt.Printf("swaps recorded: %d\n", rrs.Stats().Swaps)
+	// Output:
+	// swapped away: true
+	// data followed: true
+	// swaps recorded: 1
+}
+
+// ExampleDefaultParams shows the paper's derived design point for the
+// LPDDR4-new threshold of 4.8K.
+func ExampleDefaultParams() {
+	cfg := config.Default()
+	p, _ := core.DefaultParams(cfg).Finalize(cfg)
+	fmt.Printf("T_RRS = %d\n", p.SwapThreshold)
+	fmt.Printf("tracker entries = %d\n", p.TrackerEntries)
+	fmt.Printf("RIT tuples = %d\n", p.RITTuples)
+	// Output:
+	// T_RRS = 800
+	// tracker entries = 1699
+	// RIT tuples = 3398
+}

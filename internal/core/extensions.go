@@ -1,0 +1,49 @@
+package core
+
+// This file implements the two extensions the paper sketches but does not
+// evaluate:
+//
+//   - Footnote 1: a probabilistic, state-less variant of RRS where each
+//     activation triggers a swap with probability p instead of being
+//     counted by a Misra-Gries tracker. The paper argues the swap rate of
+//     such a design is far higher at low Row Hammer thresholds; the
+//     TrackerVsProbabilistic ablation quantifies it.
+//
+//   - Footnote 2: attack detection. A successful attack on RRS requires
+//     repeated swaps landing on one physical location within an epoch
+//     (the k-balls-in-a-bucket event of the security analysis), which
+//     benign workloads essentially never produce. RRS counts swap events
+//     per physical location; crossing DetectionThreshold flags an attack
+//     and triggers a preemptive refresh of the whole DRAM, restoring every
+//     victim's charge long before the k = 6 swaps a flip needs.
+
+// observeDetection records that the physical location loc absorbed a swap
+// event and fires the preemptive-refresh response when a location is hit
+// repeatedly within one epoch.
+func (r *RRS) observeDetection(u *bankUnit, loc uint64) {
+	if r.params.DetectionThreshold <= 0 {
+		return
+	}
+	u.swapMarks[loc]++
+	if int(u.swapMarks[loc]) < r.params.DetectionThreshold {
+		return
+	}
+	r.stats.AttacksDetected++
+	// Preemptive refresh of the entire DRAM: every row's charge is
+	// restored, so the attacker's accumulated disturbance is wiped.
+	r.sys.RefreshAll()
+	clear(u.swapMarks)
+}
+
+// resetDetection clears per-epoch detection state.
+func (u *bankUnit) resetDetection() {
+	if u.swapMarks != nil {
+		clear(u.swapMarks)
+	}
+}
+
+// probabilisticTrigger implements the footnote-1 variant: swap with
+// probability p on each activation, no tracking.
+func (r *RRS) probabilisticTrigger(u *bankUnit) bool {
+	return u.rng.Float64() < r.params.SwapProbability
+}

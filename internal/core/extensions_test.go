@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/prince"
+)
+
+// --- Probabilistic variant (footnote 1) ---
+
+func newProbRRS(t *testing.T, cfg config.Config, p float64) (*RRS, *dram.System) {
+	t.Helper()
+	sys := dram.New(cfg)
+	params := DefaultParams(cfg)
+	params.SwapProbability = p
+	r, err := New(sys, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, sys
+}
+
+func TestProbabilisticHasNoTracker(t *testing.T) {
+	r, _ := newProbRRS(t, testConfig(), 0.01)
+	if r.Tracker(dram.BankID{}) != nil {
+		t.Fatal("probabilistic variant allocated a tracker")
+	}
+}
+
+func TestProbabilisticSwapsAtExpectedRate(t *testing.T) {
+	cfg := testConfig()
+	r, _ := newProbRRS(t, cfg, 0.02)
+	id := dram.BankID{}
+	rng := prince.Seeded(3)
+	const acts = 10000
+	for i := 0; i < acts; i++ {
+		row := rng.Intn(cfg.RowsPerBank)
+		r.OnActivate(id, row, r.Remap(id, row), int64(i))
+		if i%800 == 799 {
+			r.OnEpoch(int64(i))
+		}
+	}
+	swaps := r.Stats().Swaps
+	// Expected ~200 swaps (2% of 10000); allow wide statistical margin.
+	if swaps < 100 || swaps > 320 {
+		t.Fatalf("swaps = %d, want ~200 at p=0.02", swaps)
+	}
+}
+
+func TestProbabilisticDataIntegrity(t *testing.T) {
+	cfg := testConfig()
+	cfg.RowsPerBank = 1024
+	r, sys := newProbRRS(t, cfg, 0.05)
+	id := dram.BankID{}
+	for row := 0; row < cfg.RowsPerBank; row++ {
+		sys.SetRowContent(id, r.Remap(id, row), uint64(0x9000+row))
+	}
+	rng := prince.Seeded(8)
+	for i := 0; i < 5000; i++ {
+		row := rng.Intn(cfg.RowsPerBank)
+		r.OnActivate(id, row, r.Remap(id, row), int64(i))
+		if i%800 == 799 {
+			r.OnEpoch(int64(i))
+		}
+	}
+	if r.Stats().Swaps < 50 {
+		t.Fatalf("too few swaps (%d) to exercise the variant", r.Stats().Swaps)
+	}
+	for row := 0; row < cfg.RowsPerBank; row++ {
+		if got := sys.RowContent(id, r.Remap(id, row)); got != uint64(0x9000+row) {
+			t.Fatalf("row %d corrupted: %#x", row, got)
+		}
+	}
+}
+
+// TestProbabilisticSwapRateBlowUp is the footnote-1 argument: to match the
+// tracker's security at low thresholds, the state-less variant needs a
+// swap probability around 12/T_RH per activation, and its swap count then
+// scales with *total* activations instead of with the number of hot rows.
+func TestProbabilisticSwapRateBlowUp(t *testing.T) {
+	cfg := testConfig() // T_RH=48 -> T_RRS=8
+	id := dram.BankID{}
+	rng := prince.Seeded(4)
+	// A benign-ish pattern: activations spread over many rows, none hot.
+	pattern := make([]int, 4000)
+	for i := range pattern {
+		pattern[i] = rng.Intn(cfg.RowsPerBank)
+	}
+
+	tracked, _ := newRRS(t, cfg)
+	for i, row := range pattern {
+		tracked.OnActivate(id, row, tracked.Remap(id, row), int64(i))
+		if i%800 == 799 {
+			tracked.OnEpoch(int64(i))
+		}
+	}
+
+	prob, _ := newProbRRS(t, cfg, 12.0/float64(cfg.RowHammerThreshold))
+	for i, row := range pattern {
+		prob.OnActivate(id, row, prob.Remap(id, row), int64(i))
+		if i%800 == 799 {
+			prob.OnEpoch(int64(i))
+		}
+	}
+
+	ts, ps := tracked.Stats().Swaps, prob.Stats().Swaps
+	if ps < 10*ts+10 {
+		t.Fatalf("probabilistic swaps (%d) not far above tracked (%d)", ps, ts)
+	}
+}
+
+// --- Attack detection (footnote 2) ---
+
+func TestDetectionOffByDefault(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	if r.Params().DetectionThreshold != 0 {
+		t.Fatal("detection enabled by default")
+	}
+}
+
+func TestDetectionFiresUnderChaseAttack(t *testing.T) {
+	// Small bank so the birthday collision is frequent; threshold 2.
+	cfg := config.Default()
+	cfg.RowsPerBank = 256
+	cfg.EpochCycles = int64(cfg.TRC) * 2400
+	cfg.RowHammerThreshold = 240
+
+	sys := dram.New(cfg)
+	fm := attack.NewFaultModel(sys, 0, attack.Alpha2For(cfg))
+	params := DefaultParams(cfg)
+	params.DetectionThreshold = 2
+	r, err := New(sys, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := memctrl.New(sys, r)
+
+	p := attack.NewRandomChase(int(r.Params().SwapThreshold), cfg.RowsPerBank, 77)
+	res := attack.Run(ctl, fm, p, attack.Options{Epochs: 6})
+	if r.Stats().AttacksDetected == 0 {
+		t.Fatal("chase attack never detected")
+	}
+	if !res.Defended() {
+		t.Fatalf("flips despite detection: %d", res.Flips)
+	}
+}
+
+func TestDetectionQuietOnBenignPattern(t *testing.T) {
+	cfg := testConfig()
+	sys := dram.New(cfg)
+	params := DefaultParams(cfg)
+	params.DetectionThreshold = 3
+	r, err := New(sys, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dram.BankID{}
+	rng := prince.Seeded(6)
+	// Benign-hot pattern: a handful of hot rows get swapped about once
+	// per epoch each — never twice the same physical location.
+	for i := 0; i < 8000; i++ {
+		var row int
+		if rng.Intn(2) == 0 {
+			row = rng.Intn(8)
+		} else {
+			row = rng.Intn(cfg.RowsPerBank)
+		}
+		r.OnActivate(id, row, r.Remap(id, row), int64(i))
+		if i%800 == 799 {
+			r.OnEpoch(int64(i))
+		}
+	}
+	if r.Stats().Swaps < 20 {
+		t.Fatalf("setup: too few swaps (%d)", r.Stats().Swaps)
+	}
+	if got := r.Stats().AttacksDetected; got != 0 {
+		t.Fatalf("false positives: %d detections on a benign pattern", got)
+	}
+}
+
+func TestDetectionResetsAtEpoch(t *testing.T) {
+	cfg := testConfig()
+	sys := dram.New(cfg)
+	params := DefaultParams(cfg)
+	params.DetectionThreshold = 2
+	r, err := New(sys, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dram.BankID{}
+	// One swap of row 5 this epoch (one mark on location 5)...
+	for i := 0; i < 8; i++ {
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	r.OnEpoch(100)
+	// ...then in the next epoch, a swap whose pre-swap location is 5
+	// again must NOT fire the detector (marks were cleared). Row 5 is now
+	// elsewhere; hammer whatever logical row maps to physical 5.
+	logical := -1
+	for row := 0; row < cfg.RowsPerBank; row++ {
+		if r.Remap(id, row) == 5 {
+			logical = row
+			break
+		}
+	}
+	if logical < 0 {
+		t.Skip("no logical row maps to physical 5 after the swap")
+	}
+	for i := 0; i < 8; i++ {
+		r.OnActivate(id, logical, r.Remap(id, logical), int64(200+i))
+	}
+	if r.Stats().AttacksDetected != 0 {
+		t.Fatal("detector fired across an epoch boundary")
+	}
+}
+
+// TestDetectionWipesDisturbance verifies the response: the preemptive
+// refresh restores every victim's charge.
+func TestDetectionWipesDisturbance(t *testing.T) {
+	cfg := config.Default()
+	cfg.RowsPerBank = 256
+	cfg.EpochCycles = int64(cfg.TRC) * 2400
+	cfg.RowHammerThreshold = 240
+
+	sys := dram.New(cfg)
+	fm := attack.NewFaultModel(sys, 0, -1)
+	params := DefaultParams(cfg)
+	params.DetectionThreshold = 2
+	r, err := New(sys, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := dram.BankID{}
+	// Accumulate disturbance on a victim, then force two swap marks on
+	// one location to fire the detector.
+	for i := 0; i < 30; i++ {
+		sys.Activate(id, 100, int64(i))
+	}
+	if fm.Disturbance(id, 101) == 0 {
+		t.Fatal("setup: no disturbance")
+	}
+	loc := uint64(7)
+	u := r.unit(id)
+	r.observeDetection(u, loc)
+	r.observeDetection(u, loc)
+	if r.Stats().AttacksDetected != 1 {
+		t.Fatalf("detections = %d", r.Stats().AttacksDetected)
+	}
+	if got := fm.Disturbance(id, 101); got != 0 {
+		t.Fatalf("disturbance %v survived the preemptive refresh", got)
+	}
+}

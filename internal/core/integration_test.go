@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/prince"
+)
+
+// TestEndToEndDataIntegrityUnderAttack is the full-stack correctness
+// property: software writes data through the memory controller, an
+// attacker hammers the same bank hard enough to force many swaps,
+// re-swaps and RIT evictions across several epochs — and every logical
+// line still reads back its own data.
+func TestEndToEndDataIntegrityUnderAttack(t *testing.T) {
+	cfg := config.Default()
+	cfg.RowsPerBank = 2 << 10
+	cfg.EpochCycles = int64(cfg.TRC) * 2400
+	cfg.RowHammerThreshold = 240
+
+	sys := dram.New(cfg)
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := memctrl.New(sys, r)
+
+	// Software view: tag 200 logical rows through the controller.
+	lines := make([]uint64, 200)
+	for i := range lines {
+		lines[i] = sys.Encode(dram.Address{Row: i * 7 % cfg.RowsPerBank})
+		ctl.WriteLine(lines[i], uint64(0xD000+i))
+	}
+
+	// Attacker view: chase random rows in the same bank for 4 epochs
+	// (T_RRS activations per row, forcing a swap each time).
+	chase := attack.NewRandomChase(int(r.Params().SwapThreshold), cfg.RowsPerBank, 13)
+	now := int64(0)
+	deadline := 4 * cfg.EpochCycles
+	for now < deadline {
+		row := chase.NextRow()
+		now = ctl.Access(sys.Encode(dram.Address{Row: row}), false, now)
+	}
+	if r.Stats().Swaps < 50 {
+		t.Fatalf("only %d swaps; attack too weak to exercise the stack", r.Stats().Swaps)
+	}
+
+	for i, line := range lines {
+		if got := ctl.ReadLine(line); got != uint64(0xD000+i) {
+			t.Fatalf("line %d reads %#x, want %#x (after %d swaps)",
+				i, got, 0xD000+i, r.Stats().Swaps)
+		}
+	}
+	// Every bank's RIT still satisfies the involution invariant.
+	sys.EachBank(func(id dram.BankID, _ *dram.Bank) {
+		if err := r.RIT(id).CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+	})
+}
+
+// TestSkippedSwapGraceful drives RRS on a bank so small that swap
+// destinations run out; the mitigation must degrade gracefully (skip the
+// swap, count it) rather than corrupt state.
+func TestSkippedSwapGraceful(t *testing.T) {
+	cfg := config.Default()
+	cfg.RowsPerBank = 32 // tiny: HRT+RIT residency can cover the bank
+	cfg.EpochCycles = int64(cfg.TRC) * 800
+	cfg.RowHammerThreshold = 48
+
+	sys := dram.New(cfg)
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dram.BankID{}
+	rng := prince.Seeded(2)
+	for i := 0; i < 6000; i++ {
+		row := rng.Intn(cfg.RowsPerBank)
+		r.OnActivate(id, row, r.Remap(id, row), int64(i))
+	}
+	st := r.Stats()
+	if st.SkippedSwaps == 0 {
+		t.Skip("no skips at this seed; nothing to verify")
+	}
+	if err := r.RIT(id).CheckInvariants(); err != nil {
+		t.Fatalf("state corrupted after skips: %v", err)
+	}
+}
+
+// TestRRSWithFaultModelNeverFlipsBenign runs a benign-hot pattern with the
+// fault model attached: RRS's own swap transfers must not cause flips.
+func TestRRSWithFaultModelNeverFlipsBenign(t *testing.T) {
+	cfg := config.Default()
+	cfg.RowsPerBank = 4 << 10
+	cfg.EpochCycles = int64(cfg.TRC) * 2400
+	cfg.RowHammerThreshold = 240
+
+	sys := dram.New(cfg)
+	fm := attack.NewFaultModel(sys, 0, attack.Alpha2For(cfg))
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := memctrl.New(sys, r)
+
+	rng := prince.Seeded(21)
+	now := int64(0)
+	deadline := 3 * cfg.EpochCycles
+	for now < deadline {
+		// A benign-hot mix: 16 hot rows plus background traffic.
+		var row int
+		if rng.Intn(2) == 0 {
+			row = rng.Intn(16) * 5
+		} else {
+			row = rng.Intn(cfg.RowsPerBank)
+		}
+		now = ctl.Access(sys.Encode(dram.Address{Row: row}), false, now)
+	}
+	if r.Stats().Swaps == 0 {
+		t.Fatal("no swaps; pattern too cold")
+	}
+	if fm.FlipCount() != 0 {
+		t.Fatalf("benign pattern flipped %d bits under RRS: %v",
+			fm.FlipCount(), fm.Flips())
+	}
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/prince"
+)
+
+// testConfig builds a scaled-down system: T_RH = 48 so T_RRS = 8, an epoch
+// of 800 activations, 4K rows per bank.
+func testConfig() config.Config {
+	cfg := config.Default()
+	cfg.RowsPerBank = 4 << 10
+	cfg.EpochCycles = int64(cfg.TRC) * 800 // ACT_max = 800
+	cfg.RowHammerThreshold = 48            // T_RRS = 8
+	return cfg
+}
+
+func newRRS(t *testing.T, cfg config.Config) (*RRS, *dram.System) {
+	t.Helper()
+	sys := dram.New(cfg)
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, sys
+}
+
+func TestDefaultParamsPaperValues(t *testing.T) {
+	cfg := config.Default()
+	p, err := DefaultParams(cfg).Finalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SwapThreshold != 800 {
+		t.Errorf("SwapThreshold = %d, want 800", p.SwapThreshold)
+	}
+	// ACT_max = 64ms x (1 - tRFC/tREFI) / 45ns ~ 1.36M, the paper's
+	// figure; entries land at the paper's 1700.
+	if p.TrackerEntries < 1650 || p.TrackerEntries > 1750 {
+		t.Errorf("TrackerEntries = %d, want about 1700", p.TrackerEntries)
+	}
+	if p.RITTuples != 2*p.TrackerEntries {
+		t.Errorf("RITTuples = %d, want %d", p.RITTuples, 2*p.TrackerEntries)
+	}
+	// One swap op is about 1.46 us = ~2300 bus cycles at 1.6 GHz.
+	if p.SwapOpCycles < 2200 || p.SwapOpCycles > 2500 {
+		t.Errorf("SwapOpCycles = %d, want about 2336", p.SwapOpCycles)
+	}
+}
+
+func TestGeometryPaperShapes(t *testing.T) {
+	// 1700 tracker entries -> 64 sets x 20 ways; 6800 RIT entries ->
+	// 256 sets x 20 ways (the paper's Table 5 geometries).
+	g := geometry(1700)
+	if g.Sets != 64 || g.Ways != 20 {
+		t.Errorf("geometry(1700) = %+v, want 64x20", g)
+	}
+	g = geometry(6800)
+	if g.Sets != 256 || g.Ways != 20 {
+		t.Errorf("geometry(6800) = %+v, want 256x20", g)
+	}
+}
+
+func TestNoSwapBelowThreshold(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	id := dram.BankID{}
+	for i := 0; i < 7; i++ { // T_RRS = 8
+		res := r.OnActivate(id, 5, 5, int64(i))
+		if res.ChannelBlock != 0 {
+			t.Fatalf("activation %d triggered a swap", i)
+		}
+	}
+	if r.Stats().Swaps != 0 {
+		t.Fatalf("Swaps = %d", r.Stats().Swaps)
+	}
+	if got := r.Remap(id, 5); got != 5 {
+		t.Fatalf("row remapped to %d without a swap", got)
+	}
+}
+
+func TestSwapAtThreshold(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	id := dram.BankID{}
+	var blocked int64
+	for i := 0; i < 8; i++ {
+		res := r.OnActivate(id, 5, 5, int64(i))
+		blocked += res.ChannelBlock
+	}
+	st := r.Stats()
+	if st.Swaps != 1 {
+		t.Fatalf("Swaps = %d, want 1", st.Swaps)
+	}
+	if blocked < r.Params().SwapOpCycles {
+		t.Fatalf("channel blocked %d cycles, want >= %d", blocked, r.Params().SwapOpCycles)
+	}
+	if got := r.Remap(id, 5); got == 5 {
+		t.Fatal("row not remapped after swap")
+	}
+	// The swap is recorded in this bank's RIT as a locked tuple.
+	if r.RIT(id).Tuples() != 1 {
+		t.Fatalf("RIT tuples = %d", r.RIT(id).Tuples())
+	}
+	if r.RIT(id).LockedTuples() != 1 {
+		t.Fatal("fresh swap tuple not locked")
+	}
+}
+
+func TestSwapMovesData(t *testing.T) {
+	r, sys := newRRS(t, testConfig())
+	id := dram.BankID{}
+	sys.SetRowContent(id, 5, 0xDEAD)
+	for i := 0; i < 8; i++ {
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	phys := r.Remap(id, 5)
+	if phys == 5 {
+		t.Fatal("no remap")
+	}
+	if got := sys.RowContent(id, phys); got != 0xDEAD {
+		t.Fatalf("data at new location = %#x, want 0xDEAD", got)
+	}
+}
+
+func TestDestinationExclusion(t *testing.T) {
+	// Invariant 2: the destination is never a row resident in HRT or RIT.
+	cfg := testConfig()
+	cfg.RowsPerBank = 64 // small bank makes collisions likely
+	r, _ := newRRS(t, cfg)
+	id := dram.BankID{}
+	rng := prince.Seeded(3)
+	for i := 0; i < 3000; i++ {
+		row := rng.Intn(cfg.RowsPerBank)
+		phys := r.Remap(id, row)
+		res := r.OnActivate(id, row, phys, int64(i))
+		_ = res
+	}
+	if r.Stats().Swaps == 0 {
+		t.Fatal("no swaps triggered")
+	}
+	if err := r.RIT(id).CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReswapRelocatesBothRows(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	id := dram.BankID{}
+	// First 8 ACTs swap row 5 with some partner P.
+	for i := 0; i < 8; i++ {
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	partner := r.Remap(id, 5)
+	// Next 8 ACTs of the same logical row trigger a re-swap.
+	for i := 8; i < 16; i++ {
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	st := r.Stats()
+	if st.Reswaps != 1 {
+		t.Fatalf("Reswaps = %d, want 1", st.Reswaps)
+	}
+	newPhys := r.Remap(id, 5)
+	if newPhys == int(partner) || newPhys == 5 {
+		t.Fatalf("re-swap left row at %d (old partner %d)", newPhys, partner)
+	}
+	// The old partner row must also have been relocated: its logical id
+	// no longer maps home.
+	if got := r.Remap(id, int(partner)); got == int(partner) {
+		t.Fatal("old partner returned home; its hammered location got no cold occupant")
+	}
+	if err := r.RIT(id).CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReswapPreservesData(t *testing.T) {
+	r, sys := newRRS(t, testConfig())
+	id := dram.BankID{}
+	sys.SetRowContent(id, 5, 0xAAA)
+	for i := 0; i < 16; i++ { // swap then re-swap
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	if got := sys.RowContent(id, r.Remap(id, 5)); got != 0xAAA {
+		t.Fatalf("row 5 data = %#x after re-swap, want 0xAAA", got)
+	}
+}
+
+// TestDataIntegrityUnderHeavyswapping is the end-to-end correctness
+// property: after thousands of swaps, re-swaps and evictions, every
+// logical row still reads its own data through the indirection.
+func TestDataIntegrityUnderHeavySwapping(t *testing.T) {
+	cfg := testConfig()
+	cfg.RowsPerBank = 4096
+	r, sys := newRRS(t, cfg)
+	id := dram.BankID{}
+
+	// Tag every logical row with its own id.
+	for row := 0; row < cfg.RowsPerBank; row++ {
+		sys.SetRowContent(id, r.Remap(id, row), uint64(0x10000+row))
+	}
+	rng := prince.Seeded(77)
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		// Half the traffic hits 16 hot rows so swaps and re-swaps fire.
+		var row int
+		if rng.Intn(2) == 0 {
+			row = rng.Intn(16)
+		} else {
+			row = rng.Intn(cfg.RowsPerBank)
+		}
+		r.OnActivate(id, row, r.Remap(id, row), now)
+		now++
+		if now%2000 == 0 { // several epoch boundaries
+			r.OnEpoch(now)
+		}
+	}
+	if r.Stats().Swaps < 100 {
+		t.Fatalf("only %d swaps; test not exercising swap paths", r.Stats().Swaps)
+	}
+	for row := 0; row < cfg.RowsPerBank; row++ {
+		got := sys.RowContent(id, r.Remap(id, row))
+		if got != uint64(0x10000+row) {
+			t.Fatalf("logical row %d reads %#x, want %#x", row, got, 0x10000+row)
+		}
+	}
+	if err := r.RIT(id).CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochResetsTrackerAndUnlocks(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	id := dram.BankID{}
+	for i := 0; i < 8; i++ {
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	if r.Tracker(id).Len() == 0 {
+		t.Fatal("tracker empty before epoch")
+	}
+	r.OnEpoch(1000)
+	if r.Tracker(id).Len() != 0 {
+		t.Fatal("tracker not reset at epoch")
+	}
+	if r.RIT(id).LockedTuples() != 0 {
+		t.Fatal("RIT locks not cleared at epoch")
+	}
+	// The tuple itself survives (lazy drain, not bulk reset).
+	if r.RIT(id).Tuples() != 1 {
+		t.Fatalf("RIT tuples = %d after epoch, want 1", r.RIT(id).Tuples())
+	}
+	st := r.Stats()
+	if len(st.SwapsPerEpoch) != 1 || st.SwapsPerEpoch[0] != 1 {
+		t.Fatalf("SwapsPerEpoch = %v", st.SwapsPerEpoch)
+	}
+	if st.EpochSwaps != 0 {
+		t.Fatalf("EpochSwaps = %d after boundary", st.EpochSwaps)
+	}
+}
+
+func TestBanksIndependent(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	a := dram.BankID{Channel: 0, Bank: 0}
+	b := dram.BankID{Channel: 1, Bank: 3}
+	for i := 0; i < 8; i++ {
+		r.OnActivate(a, 5, r.Remap(a, 5), int64(i))
+	}
+	if r.Remap(a, 5) == 5 {
+		t.Fatal("bank a not swapped")
+	}
+	if r.Remap(b, 5) != 5 {
+		t.Fatal("bank b affected by bank a's swap")
+	}
+	if r.Tracker(b).Len() != 0 {
+		t.Fatal("bank b tracker polluted")
+	}
+}
+
+func TestAccessPenaltyIsRITLatency(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	// 4 CPU cycles at 2 CPU cycles per bus cycle = 2 bus cycles.
+	if got := r.AccessPenalty(); got != 2 {
+		t.Fatalf("AccessPenalty = %d, want 2", got)
+	}
+}
+
+func TestActivateDelayAlwaysZero(t *testing.T) {
+	r, _ := newRRS(t, testConfig())
+	if r.ActivateDelay(dram.BankID{}, 5, 0) != 0 {
+		t.Fatal("RRS must never delay activations")
+	}
+}
+
+func TestInvalidThresholdRejected(t *testing.T) {
+	cfg := testConfig()
+	sys := dram.New(cfg)
+	_, err := New(sys, Params{SwapThreshold: 0})
+	if err == nil {
+		t.Fatal("expected error for zero threshold")
+	}
+}
+
+func TestCAMTrackerVariant(t *testing.T) {
+	cfg := testConfig()
+	sys := dram.New(cfg)
+	p := DefaultParams(cfg)
+	p.UseCAMTracker = true
+	r, err := New(sys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dram.BankID{}
+	for i := 0; i < 8; i++ {
+		r.OnActivate(id, 5, r.Remap(id, 5), int64(i))
+	}
+	if r.Stats().Swaps != 1 {
+		t.Fatalf("CAM variant Swaps = %d, want 1", r.Stats().Swaps)
+	}
+}
+
+// TestThroughController exercises RRS behind the real memory controller:
+// hammering one row via Access must trigger swaps and block the channel.
+func TestThroughController(t *testing.T) {
+	cfg := testConfig()
+	sys := dram.New(cfg)
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := memctrl.New(sys, r)
+
+	aggressor := sys.Encode(dram.Address{Row: 100})
+	other := sys.Encode(dram.Address{Row: 200})
+	now := int64(cfg.TRFC) + 1
+	for i := 0; i < 40; i++ {
+		// Alternate rows to force activations (classic hammer pattern).
+		now = ctl.Access(aggressor, false, now)
+		now = ctl.Access(other, false, now)
+	}
+	if r.Stats().Swaps < 2 {
+		t.Fatalf("Swaps = %d through controller, want >= 2", r.Stats().Swaps)
+	}
+	// Physical activations followed the remap: the aggressor's current
+	// physical row differs from 100.
+	if got := r.Remap(dram.BankID{}, 100); got == 100 {
+		t.Fatal("aggressor not relocated")
+	}
+}
+
+// TestInvariant2DestinationCold: at the moment of a swap, the destination
+// physical row has fewer than T_RRS activations this epoch.
+func TestInvariant2DestinationCold(t *testing.T) {
+	cfg := testConfig()
+	cfg.RowsPerBank = 4096 // bank rows must dwarf HRT+RIT residency
+	sys := dram.New(cfg)
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dram.BankID{}
+	rng := prince.Seeded(5)
+	threshold := int(r.Params().SwapThreshold)
+	for i := 0; i < 4000; i++ {
+		// Concentrate on 32 hot rows half the time to force swaps.
+		var row int
+		if rng.Intn(2) == 0 {
+			row = rng.Intn(32)
+		} else {
+			row = rng.Intn(cfg.RowsPerBank)
+		}
+		before := r.Stats().Swaps
+		phys := r.Remap(id, row)
+		if i > 0 && i%800 == 0 {
+			// Epoch boundary at the physical activation rate (ACT_max =
+			// 800): the RIT/HRT sizing guarantee assumes it.
+			r.OnEpoch(int64(i))
+			sys.ResetEpoch()
+		}
+		r.OnActivate(id, row, phys, int64(i))
+		if r.Stats().Swaps > before {
+			// A swap happened: its destination (the row's new physical
+			// location) must have had < T_RRS prior activations. SwapRows
+			// added 2 activations of its own to each side.
+			newPhys := r.Remap(id, row)
+			acts := sys.ActCount(id, newPhys)
+			if acts-2 >= threshold {
+				t.Fatalf("swap destination %d had %d activations (T=%d)",
+					newPhys, acts-2, threshold)
+			}
+		}
+	}
+	if r.Stats().Swaps == 0 {
+		t.Fatal("no swaps exercised")
+	}
+	if r.Stats().SkippedSwaps != 0 {
+		t.Fatalf("%d swaps skipped at healthy sizing", r.Stats().SkippedSwaps)
+	}
+}
+
+func BenchmarkOnActivateNoSwap(b *testing.B) {
+	cfg := config.Default()
+	cfg.RowsPerBank = 8 << 10
+	sys := dram.New(cfg)
+	r, err := New(sys, DefaultParams(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := dram.BankID{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.OnActivate(id, i%4096, i%4096, int64(i))
+	}
+}

@@ -1,0 +1,168 @@
+// Package cpu models the trace-driven out-of-order cores of the paper's
+// evaluation (Table 2: 8 cores, 192-entry ROB, fetch/retire width 4 at
+// 3.2 GHz) with a ROB-occupancy timing model: the core fetches
+// instructions at full width, loads that miss the LLC occupy the ROB until
+// data returns, and fetch stalls when the ROB fills behind the oldest
+// outstanding load. Stores are posted and never stall retirement.
+//
+// This event-driven model replaces USIMM's cycle loop; relative IPC — the
+// paper's figure of merit — is preserved because all memory-side queueing
+// and blocking comes from the detailed memory model.
+package cpu
+
+import (
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// instPerBusCycle is how many instructions one core can retire per
+// memory-bus cycle (fetch width x CPU cycles per bus cycle).
+func instPerBusCycle(cfg config.Config) float64 {
+	return float64(cfg.FetchWidth) * config.CPUCyclesPerBusCycle
+}
+
+// pending is an outstanding load.
+type pending struct {
+	pos  int64 // instruction position of the load
+	done int64 // bus cycle its data arrives
+}
+
+// Core is one trace-driven core. All times are memory-bus cycles.
+type Core struct {
+	ID int
+
+	reader trace.Reader
+	rate   float64 // instructions per bus cycle
+	rob    int64
+
+	clock    int64 // core-local time
+	pos      int64 // instructions fetched so far
+	retired  int64
+	loads    []pending // outstanding loads, oldest first
+	nextRec  trace.Record
+	haveNext bool
+	done     bool
+
+	// Budget is how many instructions the core executes before reporting
+	// done (rate mode re-reads the trace until every core finishes).
+	Budget int64
+	// Limit optionally stops the core once its clock passes this bus
+	// cycle (time-bounded runs covering a fixed number of epochs).
+	Limit int64
+
+	// Stats.
+	StallCycles int64
+}
+
+// New creates a core reading its memory accesses from r.
+func New(id int, cfg config.Config, r trace.Reader, budget int64) *Core {
+	c := &Core{
+		ID:     id,
+		reader: r,
+		rate:   instPerBusCycle(cfg),
+		rob:    int64(cfg.ROBSize),
+		Budget: budget,
+	}
+	c.nextRec, c.haveNext = r.Next()
+	return c
+}
+
+// Done reports whether the core has retired its instruction budget.
+func (c *Core) Done() bool { return c.done }
+
+// Clock returns the core's local time in bus cycles.
+func (c *Core) Clock() int64 { return c.clock }
+
+// Instructions returns how many instructions the core has completed.
+func (c *Core) Instructions() int64 { return c.pos }
+
+// NextIssueTime returns the bus cycle at which the core's next memory
+// access will be issued, considering fetch bandwidth and ROB back
+// pressure. It is exact given the completions recorded so far. Returns
+// false when the core has no further accesses (trace end or budget).
+func (c *Core) NextIssueTime() (int64, bool) {
+	if c.done || !c.haveNext {
+		return 0, false
+	}
+	t, _ := c.issueState()
+	if c.Limit > 0 && t > c.Limit {
+		c.done = true
+		return 0, false
+	}
+	return t, true
+}
+
+// issueState computes when the next record's access issues and the
+// instruction position it occupies.
+func (c *Core) issueState() (int64, int64) {
+	target := c.pos + int64(c.nextRec.Gap) + 1 // the access is one instruction
+	// Time to fetch up to target at full rate.
+	t := c.clock + int64(float64(target-c.pos)/c.rate)
+	// ROB: fetch cannot run further than rob instructions past the
+	// oldest incomplete load.
+	for _, p := range c.loads {
+		if target-p.pos >= c.rob && p.done > t {
+			t = p.done
+		}
+	}
+	return t, target
+}
+
+// Issue commits the pending record: the access enters the memory system at
+// the returned time. The caller must then call Complete with the memory
+// completion time (for loads) or Posted (for stores).
+func (c *Core) Issue() (rec trace.Record, at int64) {
+	t, target := c.issueState()
+	if t > c.clock {
+		c.StallCycles += t - c.clock - int64(float64(target-c.pos)/c.rate)
+	}
+	rec = c.nextRec
+	c.clock = t
+	c.pos = target
+	// Retire completed loads.
+	keep := c.loads[:0]
+	for _, p := range c.loads {
+		if p.done > c.clock {
+			keep = append(keep, p)
+		}
+	}
+	c.loads = keep
+
+	c.nextRec, c.haveNext = c.reader.Next()
+	if c.Budget > 0 && c.pos >= c.Budget {
+		c.done = true
+	}
+	return rec, t
+}
+
+// Complete records a load's data-return time.
+func (c *Core) Complete(pos int64, done int64) {
+	c.loads = append(c.loads, pending{pos: pos, done: done})
+}
+
+// Pos returns the instruction position of the most recently issued access.
+func (c *Core) Pos() int64 { return c.pos }
+
+// FinishTime estimates when the core retires its remaining instructions
+// after the last access: remaining instructions at full rate, but not
+// before the last outstanding load returns. Time-bounded cores (Limit set)
+// finish at the limit — their leftover budget is not simulated.
+func (c *Core) FinishTime() int64 {
+	t := c.clock
+	for _, p := range c.loads {
+		if p.done > t {
+			t = p.done
+		}
+	}
+	if c.Budget > c.pos {
+		rem := int64(float64(c.Budget-c.pos) / c.rate)
+		if c.Limit > 0 && t+rem > c.Limit {
+			if t < c.Limit {
+				t = c.Limit
+			}
+			return t
+		}
+		t += rem
+	}
+	return t
+}

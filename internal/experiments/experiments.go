@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the RRS
+// paper's evaluation. Each experiment returns a formatted text table whose
+// rows match the paper's, plus structured results for tests and the
+// benchmark harness. EXPERIMENTS.md records paper-vs-measured values.
+//
+// Performance experiments run at a reduced scale (Scale, default 16): the
+// refresh epoch, Row Hammer threshold and swap-operation cost all shrink
+// by the same factor, which preserves the quantities the results are made
+// of — tracker capacity (ACT_max/T_RRS), per-epoch hot-row capacity, and
+// the fraction of an epoch spent on swaps — while cutting simulation time
+// by the same factor.
+package experiments
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scale holds the common knobs for the simulation-backed experiments.
+type Scale struct {
+	// Factor divides the epoch, T_RH and swap cost (16 => 4 ms epochs).
+	Factor int
+	// Epochs is the simulated duration per run, in (scaled) epochs.
+	Epochs int
+	// Seed drives the synthetic traces.
+	Seed uint64
+	// Workloads optionally restricts the workload set (nil = Table 3's
+	// 28 detailed workloads).
+	Workloads []trace.Workload
+}
+
+// DefaultScale returns the standard experiment scale: 1/16 epochs
+// (4 ms), two epochs per run.
+func DefaultScale() Scale {
+	return Scale{Factor: 16, Epochs: 2, Seed: 0xEC0}
+}
+
+// Config returns the scaled system configuration.
+func (s Scale) Config() config.Config {
+	f := s.Factor
+	if f < 1 {
+		f = 1
+	}
+	return config.Default().Scaled(f)
+}
+
+// workloads returns the experiment's workload list.
+func (s Scale) workloads() []trace.Workload {
+	if len(s.Workloads) > 0 {
+		return s.Workloads
+	}
+	return trace.Table3Workloads()
+}
+
+// options builds sim options for one workload at this scale.
+func (s Scale) options(w trace.Workload) sim.Options {
+	cfg := s.Config()
+	epochs := s.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	return sim.Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62, // time-bounded, not instruction-bounded
+		CycleLimit:          int64(epochs) * cfg.EpochCycles,
+		Seed:                s.Seed,
+	}
+}
+
+// RRSFactory builds an RRS mitigation with the swap cost scaled to match
+// the shrunken epoch.
+func (s Scale) RRSFactory() func(*dram.System) memctrl.Mitigation {
+	return func(sys *dram.System) memctrl.Mitigation {
+		r, err := core.New(sys, core.ScaledParams(sys.Config()))
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+}
+
+// BlockHammerFactory builds the BlockHammer baseline with a blacklist
+// threshold scaled like T_RH (the paper evaluates N_BL of 512 and 1K at
+// T_RH = 4.8K).
+func (s Scale) BlockHammerFactory(blacklist uint32) func(*dram.System) memctrl.Mitigation {
+	factor := uint32(s.Factor)
+	if factor < 1 {
+		factor = 1
+	}
+	return func(sys *dram.System) memctrl.Mitigation {
+		p := mitigation.DefaultBlockHammerParams()
+		p.BlacklistThreshold = max(1, blacklist/factor)
+		return mitigation.NewBlockHammer(sys, p)
+	}
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// quickScale keeps simulation-backed experiment tests fast: 1 ms epochs,
+// one epoch per run, two contrasting workloads (hot hmmer, cold mcf).
+func quickScale(names ...string) Scale {
+	if len(names) == 0 {
+		names = []string{"hmmer", "mcf"}
+	}
+	var ws []trace.Workload
+	for _, n := range names {
+		w, ok := trace.ByName(n)
+		if !ok {
+			panic("unknown workload " + n)
+		}
+		ws = append(ws, w)
+	}
+	return Scale{Factor: 64, Epochs: 1, Seed: 5, Workloads: ws}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"DDR3 (old)", "139K", "LPDDR4 (new)", "4.8K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	out := Table2().String()
+	for _, want := range []string{"ROB size", "192", "32 GB - DDR4", "128K", "16 x 1 x 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Measurement(t *testing.T) {
+	rows, tab, err := Table3(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// hmmer (row 0) must measure far more hot rows than mcf (row 1), and
+	// measured MPKI must be near the catalog value.
+	if rows[0].MeasuredHotRows < 10*rows[1].MeasuredHotRows+1 {
+		t.Errorf("hot-row ordering lost: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.MeasuredMPKI < r.Workload.MPKI*0.6 || r.MeasuredMPKI > r.Workload.MPKI*1.4 {
+			t.Errorf("%s MPKI %.2f vs catalog %.2f", r.Workload.Name, r.MeasuredMPKI, r.Workload.MPKI)
+		}
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("table rows %d", tab.Rows())
+	}
+}
+
+func TestTable4Render(t *testing.T) {
+	out := Table4().String()
+	for _, want := range []string{"960", "800", "685", "years", "all-bank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5Render(t *testing.T) {
+	out := Table5().String()
+	for _, want := range []string{"RIT", "Tracker", "Swap-Buffers", "Total", "Per rank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Measurement(t *testing.T) {
+	res, tab, err := Table6(quickScale("bzip2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row-swap DRAM overhead is small but positive for a swapping
+	// workload; SRAM power lands near the paper's 903 mW.
+	if res.DRAMOverheadPercent < 0 || res.DRAMOverheadPercent > 10 {
+		t.Errorf("DRAM overhead %.2f%%", res.DRAMOverheadPercent)
+	}
+	if res.SRAMPowerMW < 700 || res.SRAMPowerMW > 1100 {
+		t.Errorf("SRAM power %.0f mW", res.SRAMPowerMW)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("table rows %d", tab.Rows())
+	}
+}
+
+func TestTable7DefenseMatrix(t *testing.T) {
+	rows, tab := Table7()
+	if len(rows) != 4 {
+		t.Fatalf("%d cells", len(rows))
+	}
+	byKey := map[string]Table7Row{}
+	for _, r := range rows {
+		byKey[r.Defense+"/"+r.Attack] = r
+	}
+	if !byKey["Victim-Focused (ideal)/double-sided"].Defended {
+		t.Error("VFM must stop classic Row Hammer")
+	}
+	if byKey["Victim-Focused (ideal)/half-double"].Defended {
+		t.Error("VFM must lose to Half-Double")
+	}
+	if !byKey["RRS/double-sided"].Defended || !byKey["RRS/half-double"].Defended {
+		t.Error("RRS must stop both patterns")
+	}
+	if !strings.Contains(tab.String(), "BIT FLIPS") {
+		t.Error("table must show the VFM failure")
+	}
+}
+
+func TestFigure5SwapOrdering(t *testing.T) {
+	rows, _, err := Figure5(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].SwapsPerEpoch < 10 {
+		t.Errorf("hmmer swaps/epoch = %v, want many", rows[0].SwapsPerEpoch)
+	}
+	if rows[1].SwapsPerEpoch > rows[0].SwapsPerEpoch/5 {
+		t.Errorf("mcf swaps (%v) not far below hmmer (%v)",
+			rows[1].SwapsPerEpoch, rows[0].SwapsPerEpoch)
+	}
+}
+
+func TestFigure6SlowdownSmall(t *testing.T) {
+	rows, tab, err := Figure6(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Normalized < 0.85 || r.Normalized > 1.02 {
+			t.Errorf("%s normalized %.4f outside [0.85, 1.02]", r.Workload, r.Normalized)
+		}
+	}
+	if !strings.Contains(tab.String(), "GEOMEAN") {
+		t.Error("missing geomean row")
+	}
+}
+
+func TestFigure7NoFlips(t *testing.T) {
+	res, tab := Figure7(2)
+	if !res.Defended() {
+		t.Fatalf("random chase flipped bits: %d", res.Flips)
+	}
+	if !strings.Contains(tab.String(), "random-chase") {
+		t.Error("table missing pattern name")
+	}
+}
+
+func TestFigure9MonotoneGrowth(t *testing.T) {
+	o := DefaultFigure9Options()
+	o.Sets = 16
+	o.DemandWays = 6
+	o.MaxInstalls = 300000
+	pts, _ := Figure9(o)
+	if len(pts) < 4 {
+		t.Fatalf("only %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Log10Installs <= pts[i-1].Log10Installs {
+			t.Fatalf("installs not increasing with extra ways: %+v", pts)
+		}
+	}
+	// The last points are extrapolated.
+	if pts[len(pts)-1].Measured {
+		t.Error("6 extra ways should be extrapolated")
+	}
+}
+
+func TestFigure10MoreSlowdownAtLowerThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threshold sweep skipped in -short")
+	}
+	pts, _, err := Figure10(quickScale("bzip2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// The 0.25x point must be the slowest; the 4x point near 1.0.
+	if pts[0].GeoMean > pts[4].GeoMean {
+		last := pts[4].GeoMean
+		first := pts[0].GeoMean
+		t.Fatalf("slowdown trend inverted: 0.25x=%.4f, 4x=%.4f", first, last)
+	}
+	if pts[4].GeoMean < 0.97 {
+		t.Errorf("4x threshold slowdown too large: %.4f", pts[4].GeoMean)
+	}
+}
+
+func TestFigure11BlockHammerWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S-curve comparison skipped in -short")
+	}
+	series, tab, err := Figure11(quickScale("hmmer", "bzip2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	// BlockHammer's worst case must be worse than RRS's worst case on
+	// hot workloads (the Figure 11 shape).
+	if series[1].Norms[0] > series[0].Norms[0] {
+		t.Errorf("BH-512 worst case %.4f better than RRS %.4f",
+			series[1].Norms[0], series[0].Norms[0])
+	}
+	if !strings.Contains(tab.String(), "GEOMEAN") {
+		t.Error("missing geomean")
+	}
+}
+
+func TestDoSOrdering(t *testing.T) {
+	rows, _ := DoS(2)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var rrs, bh DoSRow
+	for _, r := range rows {
+		switch r.Defense {
+		case "RRS":
+			rrs = r
+		case "BlockHammer":
+			bh = r
+		}
+	}
+	if bh.Slowdown < rrs.Slowdown {
+		t.Fatalf("BlockHammer slowdown %.1fx below RRS %.1fx", bh.Slowdown, rrs.Slowdown)
+	}
+	if rrs.Slowdown > 5 {
+		t.Errorf("RRS attacker slowdown %.1fx, want small", rrs.Slowdown)
+	}
+}
+
+func TestTrackerAblationAgrees(t *testing.T) {
+	rows, _, err := TrackerAblation(quickScale(), "hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Both trackers guarantee the same detection; swap counts and
+	// performance must be close.
+	a, b := rows[0], rows[1]
+	if b.SwapsPerEpoch == 0 || a.SwapsPerEpoch == 0 {
+		t.Fatalf("no swaps in ablation: %+v", rows)
+	}
+	ratio := a.SwapsPerEpoch / b.SwapsPerEpoch
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("tracker swap counts diverge: %+v", rows)
+	}
+}
+
+func TestUnknownWorkloadError(t *testing.T) {
+	if _, _, err := TrackerAblation(quickScale(), "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTrackerVsProbabilistic(t *testing.T) {
+	rows, tab, err := TrackerVsProbabilistic(quickScale(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The state-less variant swaps vastly more on a flat, memory-heavy
+	// workload (its swap count scales with total activations).
+	if rows[1].SwapsPerEpoch < 5*rows[0].SwapsPerEpoch+5 {
+		t.Errorf("probabilistic swaps (%v) not far above tracked (%v)",
+			rows[1].SwapsPerEpoch, rows[0].SwapsPerEpoch)
+	}
+	if !strings.Contains(tab.String(), "state-less") {
+		t.Error("table missing variant label")
+	}
+}
+
+func TestAttackDetectionExperiment(t *testing.T) {
+	res, tab := AttackDetection(6)
+	if res.AttackDetections == 0 {
+		t.Error("chase attack not detected")
+	}
+	// Benign false positives are rare, not impossible; the attack must
+	// dominate by a wide margin.
+	if res.BenignDetections*4 >= res.AttackDetections {
+		t.Errorf("benign detections (%d) not far below attack (%d)",
+			res.BenignDetections, res.AttackDetections)
+	}
+	if res.AttackFlips != 0 {
+		t.Errorf("attack flipped %d bits despite detection", res.AttackFlips)
+	}
+	if !strings.Contains(tab.String(), "random-chase") {
+		t.Error("table missing scenario")
+	}
+}
+
+func TestMixedWorkloads(t *testing.T) {
+	rows, tab, err := MixedWorkloads(quickScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d mixes", len(rows))
+	}
+	if rows[0].Normalized < 0.85 || rows[0].Normalized > 1.02 {
+		t.Errorf("mix normalized %.4f", rows[0].Normalized)
+	}
+	if !strings.Contains(tab.String(), "mix1") {
+		t.Error("missing mix name")
+	}
+}
+
+func TestRowCloneAblation(t *testing.T) {
+	rows, tab := RowCloneAblation(2)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Defended {
+			t.Errorf("%s: not defended", r.Variant)
+		}
+	}
+	// The RowClone path must throttle the attacker less.
+	if rows[1].AttackerSlowdown >= rows[0].AttackerSlowdown {
+		t.Errorf("RowClone slowdown %.2f not below swap-buffer %.2f",
+			rows[1].AttackerSlowdown, rows[0].AttackerSlowdown)
+	}
+	if !strings.Contains(tab.String(), "RowClone") {
+		t.Error("missing variant label")
+	}
+}

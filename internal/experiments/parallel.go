@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runAll executes fn for every workload concurrently (each simulation is
+// independent and single-threaded) and returns results in workload order.
+// The first error wins.
+func runAll[T any](ws []trace.Workload, fn func(trace.Workload) (T, error)) ([]T, error) {
+	out := make([]T, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w trace.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// normPair holds the two runs a normalized-performance measurement needs.
+type normPair struct {
+	norm float64
+	base sim.Result
+	mit  sim.Result
+}

@@ -1,0 +1,64 @@
+// Package mitigation implements the Row Hammer defenses the RRS paper
+// compares against:
+//
+//   - PARA: stateless probabilistic victim refresh (Kim et al., ISCA 2014).
+//   - Graphene: Misra-Gries tracking with victim refresh (MICRO 2020) —
+//     the representative *victim-focused* mitigation.
+//   - Ideal: victim refresh with perfect per-row counters (Table 7's
+//     "idealized tracking").
+//   - BlockHammer: counting-Bloom-filter blacklisting with activation
+//     throttling (HPCA 2021) — the other *aggressor-focused* mitigation.
+//
+// All implement memctrl.Mitigation. Victim refreshes are modeled as real
+// activations of the neighbouring physical rows: an activation restores
+// the charge of the row it targets while disturbing that row's own
+// neighbours — exactly the mechanism the Half-Double attack exploits.
+package mitigation
+
+import (
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// refreshNeighbors activates the rows at the given distances from row,
+// clamped to the bank. It returns the number of activations performed so
+// callers can charge bank time.
+func refreshNeighbors(sys *dram.System, id dram.BankID, row int, now int64, distances ...int) int {
+	n := 0
+	rows := sys.Config().RowsPerBank
+	for _, d := range distances {
+		v := row + d
+		if v < 0 || v >= rows {
+			continue
+		}
+		sys.Activate(id, v, now)
+		n++
+	}
+	return n
+}
+
+// victimRefreshCost returns the bank-block cycles for n refresh
+// activations (each occupies the bank for a full row cycle).
+func victimRefreshCost(cfg config.Config, n int) int64 {
+	return int64(n) * int64(cfg.TRC)
+}
+
+// bankIndex flattens a BankID for per-bank state slices.
+func bankIndex(cfg config.Config, id dram.BankID) int {
+	return (id.Channel*cfg.Ranks+id.Rank)*cfg.Banks + id.Bank
+}
+
+// VictimStats counts victim-refresh activity, shared by the victim-focused
+// mitigations.
+type VictimStats struct {
+	// Mitigations is the number of times the defense fired.
+	Mitigations int64
+	// Refreshes is the number of neighbor-row refresh activations issued.
+	Refreshes int64
+}
+
+var _ memctrl.Mitigation = (*PARA)(nil)
+var _ memctrl.Mitigation = (*Graphene)(nil)
+var _ memctrl.Mitigation = (*Ideal)(nil)
+var _ memctrl.Mitigation = (*BlockHammer)(nil)

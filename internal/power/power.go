@@ -1,0 +1,188 @@
+// Package power models DRAM energy (USIMM-style event energies plus
+// background power) and SRAM power/area for the RRS structures
+// (Cacti-like parametric fit), reproducing the paper's storage analysis
+// (Table 5) and power analysis (Table 6).
+package power
+
+import (
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+)
+
+// DRAMEnergy holds per-event energies and background power for one rank.
+// Defaults approximate a DDR4-3200 x8 DIMM; only relative overheads enter
+// the paper's Table 6, so absolute calibration is secondary.
+type DRAMEnergy struct {
+	// ActNJ is energy per activate+precharge pair (whole row).
+	ActNJ float64
+	// ReadNJ / WriteNJ are per 64-byte burst, including I/O.
+	ReadNJ  float64
+	WriteNJ float64
+	// RefreshNJ is per refresh command (per rank, tRFC window).
+	RefreshNJ float64
+	// BackgroundMW is static power per rank.
+	BackgroundMW float64
+}
+
+// DefaultDRAMEnergy returns DDR4-class constants.
+func DefaultDRAMEnergy() DRAMEnergy {
+	return DRAMEnergy{
+		ActNJ:        2.5,
+		ReadNJ:       5.2,
+		WriteNJ:      5.5,
+		RefreshNJ:    340,
+		BackgroundMW: 160,
+	}
+}
+
+// Breakdown is a DRAM energy tally in millijoules plus average power.
+type Breakdown struct {
+	ActMJ        float64
+	ReadMJ       float64
+	WriteMJ      float64
+	RefreshMJ    float64
+	BackgroundMJ float64
+	// AvgPowerMW is total energy over elapsed time.
+	AvgPowerMW float64
+}
+
+// TotalMJ sums all components.
+func (b Breakdown) TotalMJ() float64 {
+	return b.ActMJ + b.ReadMJ + b.WriteMJ + b.RefreshMJ + b.BackgroundMJ
+}
+
+// Measure tallies DRAM energy from the system's cumulative counters over
+// elapsedCycles memory-bus cycles.
+func (e DRAMEnergy) Measure(sys *dram.System, elapsedCycles int64) Breakdown {
+	cfg := sys.Config()
+	var acts, reads, writes int64
+	sys.EachBank(func(_ dram.BankID, b *dram.Bank) {
+		acts += b.StatActs
+		reads += b.StatReads
+		writes += b.StatWrites
+	})
+	seconds := float64(elapsedCycles) / (config.BusGHz * 1e9)
+	refreshes := float64(elapsedCycles/int64(cfg.TREFI)) * float64(cfg.Channels*cfg.Ranks)
+
+	var b Breakdown
+	b.ActMJ = float64(acts) * e.ActNJ * 1e-6
+	b.ReadMJ = float64(reads) * e.ReadNJ * 1e-6
+	b.WriteMJ = float64(writes) * e.WriteNJ * 1e-6
+	b.RefreshMJ = refreshes * e.RefreshNJ * 1e-6
+	b.BackgroundMJ = e.BackgroundMW * seconds * float64(cfg.Channels*cfg.Ranks)
+	if seconds > 0 {
+		b.AvgPowerMW = b.TotalMJ() / seconds
+	}
+	return b
+}
+
+// OverheadPercent returns how much more energy rrs consumed than base.
+func OverheadPercent(base, rrs Breakdown) float64 {
+	if base.TotalMJ() == 0 {
+		return 0
+	}
+	return (rrs.TotalMJ()/base.TotalMJ() - 1) * 100
+}
+
+// SRAMModel is a Cacti-like parametric SRAM power/area model, calibrated
+// so the paper's RRS configuration (686 KB per rank at 32 nm) lands at the
+// reported 903 mW.
+type SRAMModel struct {
+	// LeakageMWPerKB is static power per kilobyte.
+	LeakageMWPerKB float64
+	// DynamicNJPerAccessPerKB scales access energy with the square root
+	// of structure size (wordline/bitline growth).
+	DynamicNJPerAccess float64
+}
+
+// DefaultSRAMModel returns the 32 nm calibration.
+func DefaultSRAMModel() SRAMModel {
+	return SRAMModel{LeakageMWPerKB: 1.2, DynamicNJPerAccess: 0.08}
+}
+
+// PowerMW estimates SRAM power for a structure of sizeKB accessed
+// accessesPerSecond times.
+func (m SRAMModel) PowerMW(sizeKB, accessesPerSecond float64) float64 {
+	leak := m.LeakageMWPerKB * sizeKB
+	dyn := m.DynamicNJPerAccess * math.Sqrt(sizeKB/32+1) * accessesPerSecond * 1e-6 // nJ/s -> mW
+	return leak + dyn
+}
+
+// StorageRow is one line of the paper's Table 5.
+type StorageRow struct {
+	Structure string
+	EntryBits int
+	Entries   int
+	KB        float64
+}
+
+// StorageParams describe the RRS structures being costed.
+type StorageParams struct {
+	// TrackerSets/TrackerWays and RITSets/RITWays are per-table CAT
+	// geometry (two tables each).
+	TrackerSets, TrackerWays int
+	RITSets, RITWays         int
+	// SwapThreshold sizes the tracker's counter field.
+	SwapThreshold int
+}
+
+// PaperStorageParams returns the paper's geometries (64x20 tracker,
+// 256x20 RIT, T = 800).
+func PaperStorageParams() StorageParams {
+	return StorageParams{
+		TrackerSets: 64, TrackerWays: 20,
+		RITSets: 256, RITWays: 20,
+		SwapThreshold: 800,
+	}
+}
+
+func bits(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// StorageTable computes Table 5 for a configuration: per-bank costs of the
+// RIT, tracker and amortized swap buffers.
+func StorageTable(cfg config.Config, p StorageParams) []StorageRow {
+	rowBits := bits(cfg.RowsPerBank) // 17 for 128K rows
+
+	// RIT entry: valid + lock + source tag (rowid minus set index) +
+	// destination rowid.
+	ritTag := rowBits - bits(p.RITSets)
+	ritEntryBits := 1 + 1 + ritTag + rowBits
+	ritEntries := 2 * p.RITSets * p.RITWays
+
+	// Tracker entry: valid + row tag + activation counter (10 bits count
+	// to the swap threshold; the counter wraps into the next multiple).
+	counterBits := bits(p.SwapThreshold)
+	trackerTag := rowBits - bits(p.TrackerSets)
+	trackerEntryBits := 1 + trackerTag + counterBits
+	trackerEntries := 2 * p.TrackerSets * p.TrackerWays
+
+	// Two row-sized swap buffers per channel, amortized over the banks.
+	swapKB := float64(2*cfg.RowBytes) / 1024 / float64(cfg.Banks)
+
+	rows := []StorageRow{
+		{"RIT", ritEntryBits, ritEntries, float64(ritEntryBits*ritEntries) / 8 / 1024},
+		{"Tracker", trackerEntryBits, trackerEntries, float64(trackerEntryBits*trackerEntries) / 8 / 1024},
+		{"Swap-Buffers", 0, 0, swapKB},
+	}
+	total := 0.0
+	for _, r := range rows {
+		total += r.KB
+	}
+	rows = append(rows, StorageRow{Structure: "Total", KB: total})
+	return rows
+}
+
+// PerRankKB returns the total RRS SRAM per rank (per-bank total times the
+// number of banks).
+func PerRankKB(cfg config.Config, p StorageParams) float64 {
+	t := StorageTable(cfg, p)
+	return t[len(t)-1].KB * float64(cfg.Banks)
+}

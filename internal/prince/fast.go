@@ -1,0 +1,69 @@
+package prince
+
+// Table-driven fast path. The round function factors into per-16-bit-chunk
+// table lookups (S-box and M' act within chunks) plus a byte-indexed
+// scatter for the ShiftRows nibble permutation. The reference nibble-loop
+// implementation in prince.go remains the specification; TestFastMatchesReference
+// cross-checks them and the official vectors pin both down.
+var (
+	// smTab[w][c] = M'_w(S(c)) — forward round chunk transform.
+	smTab [2][1 << 16]uint16
+	// misTab[w][c] = S^-1(M'_w(c)) — inverse round chunk transform.
+	misTab [2][1 << 16]uint16
+	// midTab[w][c] = S^-1(M'_w(S(c))) — the middle layer.
+	midTab [2][1 << 16]uint16
+	// srTab/srInvTab scatter the i-th most significant byte to its
+	// ShiftRows (inverse) destinations.
+	srTab    [8][256]uint64
+	srInvTab [8][256]uint64
+)
+
+func sbox16(c uint16, box *[16]uint64) uint16 {
+	return uint16(box[c>>12]<<12 | box[c>>8&0xF]<<8 | box[c>>4&0xF]<<4 | box[c&0xF])
+}
+
+func initFast() {
+	for w := 0; w < 2; w++ {
+		for c := 0; c < 1<<16; c++ {
+			s := sbox16(uint16(c), &sbox)
+			m := mTab[w][s]
+			smTab[w][c] = m
+			midTab[w][c] = sbox16(m, &sboxInv)
+			misTab[w][c] = sbox16(mTab[w][c], &sboxInv)
+		}
+	}
+	for bi := 0; bi < 8; bi++ {
+		j0, j1 := 2*bi, 2*bi+1
+		for v := 0; v < 256; v++ {
+			n0, n1 := uint64(v>>4), uint64(v&0xF)
+			srTab[bi][v] = n0<<(60-4*srInv[j0]) | n1<<(60-4*srInv[j1])
+			srInvTab[bi][v] = n0<<(60-4*srPerm[j0]) | n1<<(60-4*srPerm[j1])
+		}
+	}
+}
+
+func scatter(x uint64, tab *[8][256]uint64) uint64 {
+	return tab[0][x>>56] | tab[1][x>>48&0xFF] | tab[2][x>>40&0xFF] |
+		tab[3][x>>32&0xFF] | tab[4][x>>24&0xFF] | tab[5][x>>16&0xFF] |
+		tab[6][x>>8&0xFF] | tab[7][x&0xFF]
+}
+
+func chunks(x uint64, t *[2][1 << 16]uint16) uint64 {
+	return uint64(t[0][uint16(x>>48)])<<48 | uint64(t[1][uint16(x>>32)])<<32 |
+		uint64(t[1][uint16(x>>16)])<<16 | uint64(t[0][uint16(x)])
+}
+
+// fastCore is the table-driven PRINCE-core.
+func fastCore(s, k1 uint64) uint64 {
+	s ^= k1 ^ rc[0]
+	for i := 1; i <= 5; i++ {
+		s = scatter(chunks(s, &smTab), &srTab)
+		s ^= rc[i] ^ k1
+	}
+	s = chunks(s, &midTab)
+	for i := 6; i <= 10; i++ {
+		s ^= rc[i] ^ k1
+		s = chunks(scatter(s, &srInvTab), &misTab)
+	}
+	return s ^ rc[11] ^ k1
+}

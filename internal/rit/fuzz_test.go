@@ -1,0 +1,64 @@
+package rit
+
+import (
+	"testing"
+
+	"repro/internal/cat"
+)
+
+// FuzzInvolution drives arbitrary operation sequences against the RIT and
+// checks the involution invariant after every step. Run with
+// `go test -fuzz=FuzzInvolution ./internal/rit` for continuous fuzzing;
+// the seed corpus below runs as part of the normal test suite.
+func FuzzInvolution(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint64(1))
+	f.Add([]byte{10, 20, 30, 10, 20, 30, 99, 99}, uint64(7))
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 64, 32}, uint64(42))
+
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		r := New(cat.Spec{Sets: 8, Ways: 8}, 16, seed)
+		oracle := map[uint64]uint64{}
+		for i, op := range ops {
+			x := uint64(op % 20)
+			y := uint64(op%19) + 20
+			switch i % 4 {
+			case 0, 1:
+				_, inX := oracle[x]
+				_, inY := oracle[y]
+				if inX || inY || len(oracle)/2 >= 16 {
+					break
+				}
+				if _, _, _, ok := r.Install(x, y); ok {
+					oracle[x], oracle[y] = y, x
+				}
+			case 2:
+				if p, ok := r.Remove(x); ok {
+					if oracle[x] != p {
+						t.Fatalf("op %d: Remove(%d) = %d, oracle %d", i, x, p, oracle[x])
+					}
+					delete(oracle, x)
+					delete(oracle, p)
+				}
+			case 3:
+				r.ClearLocks()
+				if x%3 == 0 {
+					if ex, ey, ok := r.EvictRandomUnlocked(); ok {
+						delete(oracle, ex)
+						delete(oracle, ey)
+					}
+				}
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if r.Tuples() != len(oracle)/2 {
+				t.Fatalf("op %d: %d tuples, oracle %d", i, r.Tuples(), len(oracle)/2)
+			}
+		}
+		for k, v := range oracle {
+			if got := r.Remap(k); got != v {
+				t.Fatalf("Remap(%d) = %d, oracle %d", k, got, v)
+			}
+		}
+	})
+}

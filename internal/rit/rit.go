@@ -1,0 +1,204 @@
+// Package rit implements the Row Indirection Table of RRS (Section 4.3):
+// a per-bank table of swapped row tuples <X,Y>, stored as two entries (one
+// indexed by X returning Y, one by Y returning X) so that either row's
+// access finds its current physical location in one lookup.
+//
+// Entries installed in the current epoch carry a lock bit and can never be
+// evicted before the epoch ends (the security of RRS depends on swapped
+// rows staying swapped for the remainder of their tracking window). At the
+// epoch boundary all lock bits clear, and stale tuples drain lazily:
+// installs beyond the tuple capacity evict a random unlocked tuple, whose
+// rows are then un-swapped by the caller.
+package rit
+
+import (
+	"fmt"
+
+	"repro/internal/cat"
+	"repro/internal/prince"
+)
+
+type entry struct {
+	partner uint64
+	locked  bool
+}
+
+// RIT is one bank's row indirection table. The mapping it maintains is an
+// involution: row X maps to Y exactly when Y maps to X.
+//
+// RIT is not safe for concurrent use.
+type RIT struct {
+	tab      *cat.Table[entry]
+	capacity int // in tuples (each tuple occupies two entries)
+	tuples   int
+	rng      *prince.CTR
+}
+
+// New creates a RIT with the given CAT geometry and tuple capacity. The
+// paper's configuration stores 3400 tuples (6800 entries) in 2 tables x
+// 256 sets x 20 ways.
+func New(spec cat.Spec, capacityTuples int, seed uint64) *RIT {
+	if capacityTuples <= 0 {
+		panic("rit: capacity must be positive")
+	}
+	if spec.Slots() < 2*capacityTuples {
+		panic(fmt.Sprintf("rit: geometry %d slots cannot hold %d tuples", spec.Slots(), capacityTuples))
+	}
+	return &RIT{
+		tab:      cat.New[entry](spec, seed),
+		capacity: capacityTuples,
+		rng:      prince.Seeded(seed ^ 0xA5A5A5A5),
+	}
+}
+
+// Remap returns the physical row currently holding row's data: its swap
+// partner if swapped, otherwise row itself.
+func (r *RIT) Remap(row uint64) uint64 {
+	if e := r.tab.Lookup(row); e != nil {
+		return e.partner
+	}
+	return row
+}
+
+// Lookup returns row's swap partner and whether row is swapped.
+func (r *RIT) Lookup(row uint64) (partner uint64, ok bool) {
+	if e := r.tab.Lookup(row); e != nil {
+		return e.partner, true
+	}
+	return 0, false
+}
+
+// Contains reports whether row is part of any tuple. Rows in the RIT are
+// excluded from being random swap destinations.
+func (r *RIT) Contains(row uint64) bool { return r.tab.Contains(row) }
+
+// Tuples returns the number of installed tuples.
+func (r *RIT) Tuples() int { return r.tuples }
+
+// Capacity returns the tuple capacity.
+func (r *RIT) Capacity() int { return r.capacity }
+
+// Install records the swap <x,y> with the lock bit set. If the table is at
+// capacity, a random unlocked tuple is evicted first and returned so the
+// caller can un-swap its rows. ok is false only if the table is full of
+// locked tuples — a state the paper's sizing argument excludes (the tuple
+// capacity is twice the per-epoch swap bound).
+func (r *RIT) Install(x, y uint64) (evictedX, evictedY uint64, evicted, ok bool) {
+	if x == y {
+		panic("rit: cannot swap a row with itself")
+	}
+	if r.tab.Contains(x) || r.tab.Contains(y) {
+		panic("rit: installing tuple over an existing entry")
+	}
+	if r.tuples >= r.capacity {
+		ex, ey, did := r.EvictRandomUnlocked()
+		if !did {
+			return 0, 0, false, false
+		}
+		evictedX, evictedY, evicted = ex, ey, true
+	}
+	if r.tab.Install(x, entry{partner: y, locked: true}) == nil {
+		// CAT conflict (astronomically rare at 6 extra ways): fail the
+		// install; the caller skips the swap.
+		return evictedX, evictedY, evicted, false
+	}
+	if r.tab.Install(y, entry{partner: x, locked: true}) == nil {
+		r.tab.Delete(x)
+		return evictedX, evictedY, evicted, false
+	}
+	r.tuples++
+	return evictedX, evictedY, evicted, true
+}
+
+// Remove deletes the tuple containing row (both entries) and returns the
+// partner. ok is false if row is not swapped.
+func (r *RIT) Remove(row uint64) (partner uint64, ok bool) {
+	e := r.tab.Lookup(row)
+	if e == nil {
+		return 0, false
+	}
+	partner = e.partner
+	r.tab.Delete(row)
+	r.tab.Delete(partner)
+	r.tuples--
+	return partner, true
+}
+
+// EvictRandomUnlocked removes one uniformly random unlocked tuple and
+// returns its rows. ok is false when every tuple is locked (or the table
+// is empty).
+func (r *RIT) EvictRandomUnlocked() (x, y uint64, ok bool) {
+	key, e, found := r.tab.RandomEntry(r.rng, func(_ uint64, e *entry) bool {
+		return !e.locked
+	})
+	if !found {
+		return 0, 0, false
+	}
+	x, y = key, e.partner
+	r.tab.Delete(x)
+	r.tab.Delete(y)
+	r.tuples--
+	return x, y, true
+}
+
+// ClearLocks unlocks every entry; called at each epoch boundary so tuples
+// from finished epochs become eligible for lazy eviction.
+func (r *RIT) ClearLocks() {
+	r.tab.ForEach(func(_ uint64, e *entry) bool {
+		e.locked = false
+		return true
+	})
+}
+
+// LockedTuples counts tuples installed in the current epoch.
+func (r *RIT) LockedTuples() int {
+	locked := 0
+	r.tab.ForEach(func(_ uint64, e *entry) bool {
+		if e.locked {
+			locked++
+		}
+		return true
+	})
+	return locked / 2
+}
+
+// ForEachTuple visits each tuple once (with x < y order normalized).
+func (r *RIT) ForEachTuple(fn func(x, y uint64, locked bool) bool) {
+	r.tab.ForEach(func(k uint64, e *entry) bool {
+		if k < e.partner {
+			return fn(k, e.partner, e.locked)
+		}
+		return true
+	})
+}
+
+// CheckInvariants verifies the involution property; tests call this after
+// mutation sequences. It returns an error describing the first violation.
+func (r *RIT) CheckInvariants() error {
+	var err error
+	count := 0
+	r.tab.ForEach(func(k uint64, e *entry) bool {
+		count++
+		back := r.tab.Lookup(e.partner)
+		if back == nil {
+			err = fmt.Errorf("rit: entry %d -> %d has no reverse entry", k, e.partner)
+			return false
+		}
+		if back.partner != k {
+			err = fmt.Errorf("rit: entry %d -> %d reversed to %d", k, e.partner, back.partner)
+			return false
+		}
+		if back.locked != e.locked {
+			err = fmt.Errorf("rit: tuple <%d,%d> has mismatched lock bits", k, e.partner)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if count != 2*r.tuples {
+		return fmt.Errorf("rit: %d entries but %d tuples", count, r.tuples)
+	}
+	return nil
+}

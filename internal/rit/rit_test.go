@@ -1,0 +1,304 @@
+package rit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cat"
+)
+
+func newSmall() *RIT {
+	return New(cat.Spec{Sets: 16, Ways: 10}, 64, 7)
+}
+
+func TestRemapIdentityWhenEmpty(t *testing.T) {
+	r := newSmall()
+	if got := r.Remap(42); got != 42 {
+		t.Fatalf("Remap(42) = %d on empty RIT", got)
+	}
+}
+
+func TestInstallRemapsBothDirections(t *testing.T) {
+	r := newSmall()
+	if _, _, _, ok := r.Install(3, 9); !ok {
+		t.Fatal("install failed")
+	}
+	if got := r.Remap(3); got != 9 {
+		t.Fatalf("Remap(3) = %d, want 9", got)
+	}
+	if got := r.Remap(9); got != 3 {
+		t.Fatalf("Remap(9) = %d, want 3", got)
+	}
+	if r.Tuples() != 1 {
+		t.Fatalf("Tuples = %d", r.Tuples())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r := newSmall()
+	r.Install(3, 9)
+	if p, ok := r.Lookup(3); !ok || p != 9 {
+		t.Fatalf("Lookup(3) = %d,%v", p, ok)
+	}
+	if _, ok := r.Lookup(4); ok {
+		t.Fatal("Lookup(4) found a tuple")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := newSmall()
+	r.Install(3, 9)
+	if !r.Contains(3) || !r.Contains(9) {
+		t.Fatal("Contains must cover both tuple members")
+	}
+	if r.Contains(4) {
+		t.Fatal("Contains(4) true")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := newSmall()
+	r.Install(3, 9)
+	p, ok := r.Remove(9) // remove by either member
+	if !ok || p != 3 {
+		t.Fatalf("Remove(9) = %d,%v", p, ok)
+	}
+	if r.Contains(3) || r.Contains(9) {
+		t.Fatal("entries linger after Remove")
+	}
+	if r.Tuples() != 0 {
+		t.Fatalf("Tuples = %d", r.Tuples())
+	}
+	if _, ok := r.Remove(3); ok {
+		t.Fatal("Remove of absent row succeeded")
+	}
+}
+
+func TestInstallSelfSwapPanics(t *testing.T) {
+	r := newSmall()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Install(5, 5)
+}
+
+func TestInstallOverExistingPanics(t *testing.T) {
+	r := newSmall()
+	r.Install(3, 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Install(9, 12)
+}
+
+func TestLockedTuplesNotEvicted(t *testing.T) {
+	r := New(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
+	for i := uint64(0); i < 4; i++ {
+		if _, _, _, ok := r.Install(i*2, i*2+1); !ok {
+			t.Fatalf("install %d failed", i)
+		}
+	}
+	// At capacity with everything locked: install must fail, not evict.
+	if _, _, _, ok := r.Install(100, 101); ok {
+		t.Fatal("install evicted a locked tuple")
+	}
+	if r.Tuples() != 4 {
+		t.Fatalf("Tuples = %d", r.Tuples())
+	}
+}
+
+func TestLazyEvictionAfterClearLocks(t *testing.T) {
+	r := New(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
+	for i := uint64(0); i < 4; i++ {
+		r.Install(i*2, i*2+1)
+	}
+	r.ClearLocks()
+	ex, ey, evicted, ok := r.Install(100, 101)
+	if !ok {
+		t.Fatal("install after ClearLocks failed")
+	}
+	if !evicted {
+		t.Fatal("install at capacity did not evict")
+	}
+	lo, hi := ex, ey
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi != lo+1 || lo%2 != 0 || lo >= 8 {
+		t.Fatalf("evicted unexpected tuple <%d,%d>", ex, ey)
+	}
+	if r.Contains(ex) || r.Contains(ey) {
+		t.Fatal("evicted tuple still present")
+	}
+	if r.Tuples() != 4 {
+		t.Fatalf("Tuples = %d, want 4", r.Tuples())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewlyInstalledStaysLockedAcrossEvictions(t *testing.T) {
+	r := New(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
+	for i := uint64(0); i < 4; i++ {
+		r.Install(i*2, i*2+1)
+	}
+	r.ClearLocks()
+	// Install 3 new (locked) tuples; each evicts an old one. The new ones
+	// must survive.
+	for i := uint64(0); i < 3; i++ {
+		if _, _, _, ok := r.Install(100+i*2, 101+i*2); !ok {
+			t.Fatalf("install %d failed", i)
+		}
+	}
+	for i := uint64(0); i < 3; i++ {
+		if !r.Contains(100 + i*2) {
+			t.Fatalf("new tuple %d was evicted", i)
+		}
+	}
+	if got := r.LockedTuples(); got != 3 {
+		t.Fatalf("LockedTuples = %d, want 3", got)
+	}
+}
+
+func TestEvictRandomUnlockedEmpty(t *testing.T) {
+	r := newSmall()
+	if _, _, ok := r.EvictRandomUnlocked(); ok {
+		t.Fatal("eviction from empty RIT succeeded")
+	}
+}
+
+func TestForEachTupleVisitsEachOnce(t *testing.T) {
+	r := newSmall()
+	want := map[[2]uint64]bool{}
+	for i := uint64(0); i < 10; i++ {
+		r.Install(i, 100+i)
+		want[[2]uint64{i, 100 + i}] = true
+	}
+	got := map[[2]uint64]bool{}
+	r.ForEachTuple(func(x, y uint64, locked bool) bool {
+		if !locked {
+			t.Fatalf("tuple <%d,%d> not locked", x, y)
+		}
+		if got[[2]uint64{x, y}] {
+			t.Fatalf("tuple <%d,%d> visited twice", x, y)
+		}
+		got[[2]uint64{x, y}] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d tuples, want %d", len(got), len(want))
+	}
+}
+
+func TestCapacityTooBigForGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(cat.Spec{Sets: 1, Ways: 2}, 100, 1)
+}
+
+// TestPropertyInvolutionMaintained drives random install/remove/clear
+// sequences and checks the involution invariant plus remap consistency
+// against a map oracle.
+func TestPropertyInvolutionMaintained(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		r := New(cat.Spec{Sets: 16, Ways: 10}, 32, seed)
+		oracle := map[uint64]uint64{}
+		for _, op := range ops {
+			x := uint64(op % 50)
+			y := uint64(op%49) + 50
+			switch op % 3 {
+			case 0: // install if both free and capacity spare
+				if _, inX := oracle[x]; inX {
+					continue
+				}
+				if _, inY := oracle[y]; inY {
+					continue
+				}
+				if len(oracle)/2 >= 32 {
+					continue
+				}
+				if _, _, _, ok := r.Install(x, y); ok {
+					oracle[x], oracle[y] = y, x
+				}
+			case 1: // remove
+				if p, ok := r.Remove(x); ok {
+					if oracle[x] != p {
+						return false
+					}
+					delete(oracle, x)
+					delete(oracle, p)
+				} else if _, present := oracle[x]; present {
+					return false
+				}
+			case 2:
+				r.ClearLocks()
+			}
+			if err := r.CheckInvariants(); err != nil {
+				return false
+			}
+			if r.Tuples() != len(oracle)/2 {
+				return false
+			}
+		}
+		for k, v := range oracle {
+			if r.Remap(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperGeometryHoldsFullCapacity(t *testing.T) {
+	// Paper configuration: 3400 tuples in 2 x 256 sets x 20 ways.
+	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	for i := 0; i < 3400; i++ {
+		x := uint64(i)
+		y := uint64(100000 + i)
+		if _, _, _, ok := r.Install(x, y); !ok {
+			t.Fatalf("install %d failed in paper geometry", i)
+		}
+	}
+	if r.Tuples() != 3400 {
+		t.Fatalf("Tuples = %d", r.Tuples())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRemapHit(b *testing.B) {
+	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	for i := 0; i < 3400; i++ {
+		r.Install(uint64(i), uint64(100000+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Remap(uint64(i % 3400))
+	}
+}
+
+func BenchmarkRemapMiss(b *testing.B) {
+	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	for i := 0; i < 3400; i++ {
+		r.Install(uint64(i), uint64(100000+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Remap(uint64(50000 + i%1000))
+	}
+}

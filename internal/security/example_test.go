@@ -1,0 +1,32 @@
+package security_test
+
+import (
+	"fmt"
+
+	"repro/internal/security"
+)
+
+// ExamplePaperModel reproduces the headline of the paper's Table 4: with
+// the chosen swap threshold T = 800 (k = 6), the optimal attacker needs
+// years of continuous hammering for one bit flip.
+func ExamplePaperModel() {
+	m := security.PaperModel(800)
+	fmt.Printf("k = %d swaps needed on one row\n", m.K())
+	fmt.Printf("attack time: %s\n", security.FormatDuration(m.AttackSeconds()))
+	// Output:
+	// k = 6 swaps needed on one row
+	// attack time: 3.8 years
+}
+
+// ExampleDutyCycle shows the paper's duty-cycle figures: a single-bank
+// attack leaves the bank 92.5% available; attacking all 8 banks of a
+// channel serializes their swaps on the shared bus.
+func ExampleDutyCycle() {
+	single := security.DutyCycle(800, 45e-9, 2.9e-6, 1)
+	all := security.DutyCycle(800, 45e-9, 2.9e-6, 8)
+	fmt.Printf("single-bank: %.3f\n", single)
+	fmt.Printf("all-bank:    %.3f\n", all)
+	// Output:
+	// single-bank: 0.925
+	// all-bank:    0.608
+}

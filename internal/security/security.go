@@ -1,0 +1,200 @@
+// Package security implements the RRS paper's security analysis
+// (Section 5): the statistical model of the optimal attack against
+// Randomized Row-Swap, reproducing Table 4 (attack iterations and time to
+// a successful Row Hammer flip as a function of the swap threshold), the
+// duty-cycle model, and a Monte Carlo cross-check of the buckets-and-balls
+// formula.
+//
+// The optimal attacker repeatedly picks a uniformly random row in a bank
+// and activates it exactly T times, forcing a swap, hoping that some
+// physical location accumulates k = T_RH/T swaps' worth of activations
+// within one refresh window (the birthday-paradox style attack of
+// Figure 7). Each T-activation burst is a ball thrown into one of N
+// buckets (rows); a successful attack needs k balls in one bucket within
+// an iteration (64 ms).
+package security
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prince"
+)
+
+// EpochSeconds is the refresh window the analysis is parameterized in.
+const EpochSeconds = 0.064
+
+// Model holds the parameters of the Section 5.3 analysis.
+type Model struct {
+	// RowsPerBank is N, the randomization space (128K in the paper).
+	RowsPerBank int
+	// ACTMax is A, the maximum activations per bank per 64 ms (1.36M).
+	ACTMax int
+	// DutyCycle is D, the fraction of the window the bank can spend on
+	// activations given swap overheads (0.925 single-bank, 0.55 all-bank).
+	DutyCycle float64
+	// SwapThreshold is T (T_RRS).
+	SwapThreshold int
+	// RowHammerThreshold is T_RH; k = T_RH / T swaps must land on one
+	// physical row for a flip.
+	RowHammerThreshold int
+	// Banks under simultaneous attack (1 for the single-bank attack; the
+	// success probability scales with Banks * N).
+	Banks int
+}
+
+// PaperModel returns the paper's default single-bank model for a given
+// swap threshold: N = 128K, A = 1.36M, D = 0.925, T_RH = 4.8K.
+func PaperModel(swapThreshold int) Model {
+	return Model{
+		RowsPerBank:        128 << 10,
+		ACTMax:             1360000,
+		DutyCycle:          0.925,
+		SwapThreshold:      swapThreshold,
+		RowHammerThreshold: 4800,
+		Banks:              1,
+	}
+}
+
+// AllBankPaperModel returns the paper's 16-bank attack variant (D = 0.55).
+func AllBankPaperModel(swapThreshold int) Model {
+	m := PaperModel(swapThreshold)
+	m.DutyCycle = 0.55
+	m.Banks = 16
+	return m
+}
+
+// K returns the number of swaps required on one physical row for a flip.
+func (m Model) K() int { return m.RowHammerThreshold / m.SwapThreshold }
+
+// Balls returns B = A*D/T, the number of T-activation bursts (balls) the
+// attacker throws per iteration.
+func (m Model) Balls() float64 {
+	return float64(m.ACTMax) * m.DutyCycle / float64(m.SwapThreshold)
+}
+
+// lnChoose returns ln(C(n, k)) via the log-gamma function.
+func lnChoose(n float64, k int) float64 {
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(n+1) - lg(float64(k)+1) - lg(n-float64(k)+1)
+}
+
+// LnProbKSwaps returns ln of the probability that a specific row receives
+// exactly k balls in one iteration (Equation 1): C(B,k) p^k (1-p)^(B-k)
+// with p = 1/N.
+func (m Model) LnProbKSwaps(k int) float64 {
+	b := m.Balls()
+	if float64(k) > b {
+		return math.Inf(-1)
+	}
+	p := 1.0 / float64(m.RowsPerBank)
+	return lnChoose(b, k) + float64(k)*math.Log(p) + (b-float64(k))*math.Log1p(-p)
+}
+
+// ExpectedRowsWithKSwaps returns N_k = N * p_{k,T} (scaled by the number
+// of attacked banks).
+func (m Model) ExpectedRowsWithKSwaps(k int) float64 {
+	n := float64(m.RowsPerBank) * float64(max(1, m.Banks))
+	return n * math.Exp(m.LnProbKSwaps(k))
+}
+
+// AttackIterations returns AT_iter (Equation 3): the expected number of
+// 64 ms iterations before some row accumulates k = T_RH/T swaps.
+func (m Model) AttackIterations() float64 {
+	return 1.0 / m.ExpectedRowsWithKSwaps(m.K())
+}
+
+// AttackSeconds returns AT_time in seconds.
+func (m Model) AttackSeconds() float64 {
+	return m.AttackIterations() * EpochSeconds
+}
+
+// FormatDuration renders an attack time in the paper's style ("6.9 days",
+// "3.8 years").
+func FormatDuration(seconds float64) string {
+	switch {
+	case math.IsInf(seconds, 1):
+		return "never"
+	case seconds < 120:
+		return fmt.Sprintf("%.1f seconds", seconds)
+	case seconds < 2*3600:
+		return fmt.Sprintf("%.1f minutes", seconds/60)
+	case seconds < 2*86400:
+		return fmt.Sprintf("%.1f hours", seconds/3600)
+	case seconds < 2*365.25*86400:
+		return fmt.Sprintf("%.1f days", seconds/86400)
+	default:
+		return fmt.Sprintf("%.1f years", seconds/(365.25*86400))
+	}
+}
+
+// DutyCycle models the fraction of a refresh window available for
+// activations when the attacker forces one swap every T activations:
+// hammering T rows costs T*tRC and each swap blocks the bank's channel for
+// swapSeconds, multiplied by the banks sharing the channel under attack.
+func DutyCycle(swapThreshold int, tRCSeconds, swapSeconds float64, banksPerChannelAttacked int) float64 {
+	hammer := float64(swapThreshold) * tRCSeconds
+	block := swapSeconds * float64(max(1, banksPerChannelAttacked))
+	return hammer / (hammer + block)
+}
+
+// MonteCarloProbK estimates, by simulation, the probability that a
+// specific bucket receives at least k balls when b balls land uniformly in
+// n buckets — a cross-check of LnProbKSwaps at scales where the event is
+// observable. It returns the fraction of (bucket, trial) pairs with >= k
+// balls, i.e., the per-row probability.
+func MonteCarloProbK(n int, b int, k int, trials int, seed uint64) float64 {
+	rng := prince.Seeded(seed)
+	counts := make([]int, n)
+	hits := 0
+	for t := 0; t < trials; t++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < b; i++ {
+			counts[rng.Intn(n)]++
+		}
+		for _, c := range counts {
+			if c >= k {
+				hits++
+			}
+		}
+	}
+	return float64(hits) / (float64(n) * float64(trials))
+}
+
+// ProbAtLeastK returns the analytic tail probability P(X >= k) for one
+// bucket, summing Equation 1 over k' >= k until terms vanish.
+func (m Model) ProbAtLeastK(k int) float64 {
+	sum := 0.0
+	for kk := k; kk < k+64; kk++ {
+		term := math.Exp(m.LnProbKSwaps(kk))
+		sum += term
+		if term < sum*1e-12 {
+			break
+		}
+	}
+	return sum
+}
+
+// Table1Row is one row of the paper's Table 1 (Row Hammer threshold over
+// DRAM generations).
+type Table1Row struct {
+	Generation string
+	Threshold  string
+}
+
+// Table1 returns the paper's Table 1 data.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"DDR3 (old)", "139K"},
+		{"DDR3 (new)", "22.4K"},
+		{"DDR4 (old)", "17.5K"},
+		{"DDR4 (new)", "10K"},
+		{"LPDDR4 (old)", "16.8K"},
+		{"LPDDR4 (new)", "4.8K - 9K"},
+	}
+}

@@ -1,0 +1,173 @@
+package security
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable4PaperValues reproduces Table 4: attack iterations for the
+// three candidate swap thresholds. The paper reports 9.3e6 (T=960),
+// 1.9e9 (T=800) and 3.8e11 (T=685); we accept 25% tolerance for the
+// rounding in the paper's intermediate values.
+func TestTable4PaperValues(t *testing.T) {
+	cases := []struct {
+		threshold int
+		wantIter  float64
+	}{
+		{960, 9.3e6},
+		{800, 1.9e9},
+		{685, 3.8e11},
+	}
+	for _, c := range cases {
+		m := PaperModel(c.threshold)
+		got := m.AttackIterations()
+		if got < c.wantIter*0.75 || got > c.wantIter*1.35 {
+			t.Errorf("T=%d: AT_iter = %.3g, paper %.3g", c.threshold, got, c.wantIter)
+		}
+	}
+}
+
+func TestTable4AttackTimes(t *testing.T) {
+	// T=800 -> ~3.8 years; T=960 -> ~6.9 days.
+	if got := PaperModel(800).AttackSeconds() / (365.25 * 86400); got < 2.8 || got > 5 {
+		t.Errorf("T=800 attack time = %.2f years, paper 3.8", got)
+	}
+	if got := PaperModel(960).AttackSeconds() / 86400; got < 5 || got > 9 {
+		t.Errorf("T=960 attack time = %.2f days, paper 6.9", got)
+	}
+}
+
+func TestAllBankAttackSlower(t *testing.T) {
+	// The paper: the all-bank attack takes longer (5.1 vs 3.8 years at
+	// k=6) because the extra swaps crush the duty cycle.
+	single := PaperModel(800).AttackSeconds()
+	all := AllBankPaperModel(800).AttackSeconds()
+	if all <= single {
+		t.Fatalf("all-bank attack faster (%.3g s) than single-bank (%.3g s)", all, single)
+	}
+	years := all / (365.25 * 86400)
+	if years < 3.5 || years > 7.5 {
+		t.Errorf("all-bank attack time = %.2f years, paper 5.1", years)
+	}
+}
+
+func TestSmallerThresholdStrongerSecurity(t *testing.T) {
+	prev := 0.0
+	for _, T := range []int{960, 800, 685, 600} {
+		m := PaperModel(T)
+		it := m.AttackIterations()
+		if it <= prev {
+			t.Fatalf("T=%d gives %.3g iterations, not more than larger T", T, it)
+		}
+		prev = it
+	}
+}
+
+func TestK(t *testing.T) {
+	if k := PaperModel(800).K(); k != 6 {
+		t.Fatalf("K = %d, want 6", k)
+	}
+	if k := PaperModel(960).K(); k != 5 {
+		t.Fatalf("K = %d, want 5", k)
+	}
+}
+
+func TestBalls(t *testing.T) {
+	b := PaperModel(800).Balls()
+	// 1.36M * 0.925 / 800 ~ 1573.
+	if b < 1500 || b > 1650 {
+		t.Fatalf("Balls = %v, want ~1573", b)
+	}
+}
+
+func TestLnProbMonotoneInK(t *testing.T) {
+	m := PaperModel(800)
+	for k := 1; k < 8; k++ {
+		if m.LnProbKSwaps(k+1) >= m.LnProbKSwaps(k) {
+			t.Fatalf("P(k=%d) not smaller than P(k=%d)", k+1, k)
+		}
+	}
+}
+
+func TestLnProbImpossibleK(t *testing.T) {
+	m := PaperModel(800)
+	if !math.IsInf(m.LnProbKSwaps(int(m.Balls())+10), -1) {
+		t.Fatal("more swaps than balls should be impossible")
+	}
+}
+
+// TestMonteCarloMatchesAnalytic cross-validates the binomial formula
+// against simulation at a scale where the event is frequent.
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	const n, b, k, trials = 256, 512, 5, 400
+	m := Model{
+		RowsPerBank:        n,
+		ACTMax:             b, // with T=1, D=1: Balls() == b
+		DutyCycle:          1,
+		SwapThreshold:      1,
+		RowHammerThreshold: k,
+		Banks:              1,
+	}
+	analytic := m.ProbAtLeastK(k)
+	mc := MonteCarloProbK(n, b, k, trials, 42)
+	if mc == 0 {
+		t.Fatal("Monte Carlo observed no events; scale is wrong")
+	}
+	ratio := mc / analytic
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("MC %.4g vs analytic %.4g (ratio %.2f)", mc, analytic, ratio)
+	}
+}
+
+func TestDutyCyclePaperValues(t *testing.T) {
+	// Single bank: 800 ACTs cost 36 us, one swap 2.9 us -> D ~ 0.925.
+	d := DutyCycle(800, 45e-9, 2.9e-6, 1)
+	if d < 0.91 || d > 0.94 {
+		t.Fatalf("single-bank duty cycle = %.3f, paper 0.925", d)
+	}
+	// All-bank: 8 banks per channel share the blocked bus -> D ~ 0.55.
+	d = DutyCycle(800, 45e-9, 2.9e-6, 8)
+	if d < 0.5 || d > 0.66 {
+		t.Fatalf("all-bank duty cycle = %.3f, paper 0.55", d)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{30, "seconds"},
+		{600, "minutes"},
+		{7200, "hours"},
+		{6.9 * 86400, "6.9 days"},
+		{3.8 * 365.25 * 86400, "3.8 years"},
+		{math.Inf(1), "never"},
+	}
+	for _, c := range cases {
+		got := FormatDuration(c.sec)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestTable1HasAllGenerations(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows, want 6", len(rows))
+	}
+	if rows[5].Generation != "LPDDR4 (new)" || !strings.Contains(rows[5].Threshold, "4.8K") {
+		t.Fatalf("last row %+v", rows[5])
+	}
+}
+
+func TestExpectedRowsScalesWithBanks(t *testing.T) {
+	single := PaperModel(800)
+	multi := single
+	multi.Banks = 16
+	if multi.ExpectedRowsWithKSwaps(6) != 16*single.ExpectedRowsWithKSwaps(6) {
+		t.Fatal("bank scaling broken")
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim wires the full system together — trace-driven cores, memory
+// controller, DRAM and a Row Hammer mitigation — and runs workloads to
+// completion, producing the statistics the paper's performance figures are
+// built from (IPC, row-swaps per epoch, rows with 800+ activations, DRAM
+// energy).
+//
+// The synthetic traces are post-LLC streams (their MPKI is the LLC
+// miss rate), so the cores talk straight to the memory controller; the
+// cache package is still available for filtering raw traces offline.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// llcHitBusCycles is the LLC hit latency in memory-bus cycles (~19 ns).
+const llcHitBusCycles = 15
+
+// Options configures one simulation run.
+type Options struct {
+	// Config is the system configuration (config.Default for Table 2).
+	Config config.Config
+	// Workloads holds one workload per core; a single entry is
+	// replicated across all cores (the paper's rate mode).
+	Workloads []trace.Workload
+	// Mitigation builds the Row Hammer defense over the fresh DRAM
+	// system; nil runs the unprotected baseline.
+	Mitigation func(*dram.System) memctrl.Mitigation
+	// InstructionsPerCore is each core's budget (the paper runs 1 B; the
+	// default here is 1 M for tractable experiment sweeps).
+	InstructionsPerCore int64
+	// Seed drives the synthetic traces.
+	Seed uint64
+	// HotRowThreshold is the per-epoch activation count defining a "hot"
+	// row for statistics; 0 derives T_RH/6 (the paper's 800).
+	HotRowThreshold int
+	// HotShare overrides the generator's hot-access share (0 = default).
+	HotShare float64
+	// CycleLimit optionally stops every core once its clock passes this
+	// bus cycle, bounding the run to a fixed number of epochs regardless
+	// of the instruction budget.
+	CycleLimit int64
+	// Readers, when non-nil, feeds each core from the given trace reader
+	// (one per core, e.g. rrs-tracegen files via trace.NewFileReader)
+	// instead of synthesizing from Workloads. Workloads must still name
+	// the benchmark (for reporting); addresses are used as-is, with no
+	// per-core offsetting.
+	Readers []trace.Reader
+}
+
+// Result reports a finished run.
+type Result struct {
+	// IPC is the mean per-core instructions per CPU cycle.
+	IPC float64
+	// Instructions and Cycles (bus) aggregate the run.
+	Instructions int64
+	Cycles       int64
+	// Accesses is the number of memory (post-LLC) accesses.
+	Accesses int64
+	// MPKI is measured LLC misses per kilo-instruction.
+	MPKI float64
+	// MemStats is the controller's statistics snapshot.
+	MemStats memctrl.Stats
+	// HotRowsPerEpoch averages, over completed epochs, the number of
+	// rows system-wide whose activations reached HotRowThreshold.
+	HotRowsPerEpoch float64
+	// SwapsPerEpoch averages RRS swaps per completed epoch (0 for other
+	// mitigations) — Figure 5's metric.
+	SwapsPerEpoch float64
+	// Epochs is the number of completed epochs.
+	Epochs int64
+	// Energy is the DRAM energy breakdown.
+	Energy power.Breakdown
+	// Mitigation exposes the defense for caller-specific queries.
+	Mitigation memctrl.Mitigation
+}
+
+// Run executes the simulation to completion.
+func Run(opts Options) (Result, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(opts.Workloads) == 0 {
+		return Result{}, fmt.Errorf("sim: no workloads")
+	}
+	if opts.InstructionsPerCore <= 0 {
+		opts.InstructionsPerCore = 1_000_000
+	}
+	hotThreshold := opts.HotRowThreshold
+	if hotThreshold == 0 {
+		hotThreshold = cfg.RowHammerThreshold / 6
+	}
+
+	sys := dram.New(cfg)
+	var mit memctrl.Mitigation = memctrl.None{}
+	if opts.Mitigation != nil {
+		if m := opts.Mitigation(sys); m != nil {
+			mit = m
+		}
+	}
+	ctl := memctrl.New(sys, mit)
+
+	// Per-epoch hot-row sampling.
+	var hotRowSamples []int64
+	ctl.SetEpochHook(func(int64) {
+		var rows int64
+		sys.EachBank(func(id dram.BankID, _ *dram.Bank) {
+			rows += int64(sys.RowsWithActsAtLeast(id, hotThreshold))
+		})
+		hotRowSamples = append(hotRowSamples, rows)
+	})
+
+	// Rate mode: each core gets its own copy of the workload in a
+	// disjoint slice of the physical address space, and the workload's
+	// system-wide hot-row count is split across the copies.
+	totalLines := uint64(cfg.MemoryBytes()) / uint64(cfg.LineBytes)
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		var rd trace.Reader
+		if opts.Readers != nil {
+			rd = opts.Readers[i%len(opts.Readers)]
+		} else {
+			w := opts.Workloads[i%len(opts.Workloads)]
+			w.HotRows = splitHotRows(w.HotRows, cfg.Cores, i)
+			gen := trace.NewGenerator(w, trace.GeneratorParams{
+				LineBytes: cfg.LineBytes,
+				RowBytes:  cfg.RowBytes,
+				HotShare:  opts.HotShare,
+				Seed:      opts.Seed + uint64(i)*0x9e3779b9,
+			})
+			offset := uint64(i) * (totalLines / uint64(cfg.Cores))
+			rd = &offsetReader{r: gen, offset: offset, mod: totalLines}
+		}
+		cores[i] = cpu.New(i, cfg, rd, opts.InstructionsPerCore)
+		cores[i].Limit = opts.CycleLimit
+	}
+
+	var res Result
+	res.Mitigation = mit
+
+	for {
+		// Pick the core with the earliest next access.
+		var next *cpu.Core
+		var nextT int64
+		for _, c := range cores {
+			if c.Done() {
+				continue
+			}
+			t, ok := c.NextIssueTime()
+			if !ok {
+				continue
+			}
+			if next == nil || t < nextT {
+				next, nextT = c, t
+			}
+		}
+		if next == nil {
+			break
+		}
+		rec, at := next.Issue()
+		res.Accesses++
+		done := ctl.Access(rec.Line, rec.Write, at)
+		if !rec.Write {
+			// Loads occupy the ROB until data returns (plus the LLC fill
+			// hop); stores are posted.
+			next.Complete(next.Pos(), done+llcHitBusCycles)
+		}
+	}
+
+	// Close the run: find the global end time and flush epochs.
+	var end int64
+	var ipcSum float64
+	for _, c := range cores {
+		f := c.FinishTime()
+		if f > end {
+			end = f
+		}
+		res.Instructions += c.Instructions()
+	}
+	for _, c := range cores {
+		cpuCycles := float64(c.FinishTime()) * config.CPUCyclesPerBusCycle
+		if cpuCycles > 0 {
+			ipcSum += float64(c.Instructions()) / cpuCycles
+		}
+	}
+	ctl.AdvanceTo(end)
+	res.Cycles = end
+	res.IPC = ipcSum / float64(len(cores))
+	res.MemStats = ctl.Stats()
+	res.Epochs = res.MemStats.Epochs
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.Accesses) / float64(res.Instructions) * 1000
+	}
+	if len(hotRowSamples) > 0 {
+		var sum int64
+		for _, v := range hotRowSamples {
+			sum += v
+		}
+		res.HotRowsPerEpoch = float64(sum) / float64(len(hotRowSamples))
+	}
+	if r, ok := mit.(*core.RRS); ok {
+		st := r.Stats()
+		if n := len(st.SwapsPerEpoch); n > 0 {
+			var sum int64
+			for _, v := range st.SwapsPerEpoch {
+				sum += v
+			}
+			res.SwapsPerEpoch = float64(sum) / float64(n)
+		} else {
+			// No completed epoch: report the in-progress count.
+			res.SwapsPerEpoch = float64(st.EpochSwaps)
+		}
+	}
+	res.Energy = power.DefaultDRAMEnergy().Measure(sys, end)
+	return res, nil
+}
+
+// splitHotRows divides a system-wide hot-row target across cores: core i
+// of n gets the i-th share (earlier cores take the remainder).
+func splitHotRows(total, cores, i int) int {
+	share := total / cores
+	if i < total%cores {
+		share++
+	}
+	return share
+}
+
+// offsetReader relocates a core's trace into its own address-space slice.
+type offsetReader struct {
+	r      trace.Reader
+	offset uint64
+	mod    uint64
+}
+
+// Next implements trace.Reader.
+func (o *offsetReader) Next() (trace.Record, bool) {
+	rec, ok := o.r.Next()
+	rec.Line = (rec.Line + o.offset) % o.mod
+	return rec, ok
+}
+
+// NormalizedPerformance returns mitigated IPC over baseline IPC for the
+// same options (the paper's Figures 6, 10 and 11 metric).
+func NormalizedPerformance(opts Options, mitigation func(*dram.System) memctrl.Mitigation) (float64, Result, Result, error) {
+	base := opts
+	base.Mitigation = nil
+	baseRes, err := Run(base)
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	mitOpts := opts
+	mitOpts.Mitigation = mitigation
+	mitRes, err := Run(mitOpts)
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	if baseRes.IPC == 0 {
+		return 0, baseRes, mitRes, fmt.Errorf("sim: baseline IPC is zero")
+	}
+	return mitRes.IPC / baseRes.IPC, baseRes, mitRes, nil
+}

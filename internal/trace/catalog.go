@@ -1,0 +1,101 @@
+package trace
+
+import "fmt"
+
+// gb converts gigabytes to bytes.
+func gb(v float64) int64 { return int64(v * (1 << 30)) }
+
+// Table3Workloads returns the 28 workloads the paper details in Table 3 —
+// those that encounter at least one row with 800+ activations per 64 ms —
+// with the reported footprint, MPKI and hot-row counts.
+func Table3Workloads() []Workload {
+	return []Workload{
+		{Name: "hmmer", Suite: "SPEC2006", FootprintBytes: gb(0.01), MPKI: 0.84, HotRows: 1675, WriteFraction: 0.3},
+		{Name: "bzip2", Suite: "SPEC2006", FootprintBytes: gb(2.41), MPKI: 5.57, HotRows: 1150, WriteFraction: 0.35},
+		{Name: "h264", Suite: "SPEC2006", FootprintBytes: gb(0.05), MPKI: 0.52, HotRows: 1136, WriteFraction: 0.3},
+		{Name: "calculix", Suite: "SPEC2006", FootprintBytes: gb(0.16), MPKI: 1.12, HotRows: 932, WriteFraction: 0.25},
+		{Name: "gcc", Suite: "SPEC2006", FootprintBytes: gb(0.09), MPKI: 4.42, HotRows: 818, WriteFraction: 0.35},
+		{Name: "zeusmp", Suite: "SPEC2006", FootprintBytes: gb(0.55), MPKI: 2.00, HotRows: 405, WriteFraction: 0.3},
+		{Name: "astar", Suite: "SPEC2006", FootprintBytes: gb(0.04), MPKI: 1.04, HotRows: 352, WriteFraction: 0.3},
+		{Name: "sphinx", Suite: "SPEC2006", FootprintBytes: gb(0.13), MPKI: 12.90, HotRows: 242, WriteFraction: 0.2},
+		{Name: "mummer", Suite: "BIOBENCH", FootprintBytes: gb(2.17), MPKI: 19.13, HotRows: 192, WriteFraction: 0.25},
+		{Name: "ferret", Suite: "PARSEC", FootprintBytes: gb(0.79), MPKI: 5.67, HotRows: 132, WriteFraction: 0.3},
+		{Name: "gobmk", Suite: "SPEC2006", FootprintBytes: gb(0.2), MPKI: 1.17, HotRows: 79, WriteFraction: 0.3},
+		{Name: "blender_17", Suite: "SPEC2017", FootprintBytes: gb(0.24), MPKI: 1.53, HotRows: 53, WriteFraction: 0.3},
+		{Name: "freq", Suite: "PARSEC", FootprintBytes: gb(0.59), MPKI: 2.89, HotRows: 44, WriteFraction: 0.3},
+		{Name: "stream", Suite: "PARSEC", FootprintBytes: gb(0.63), MPKI: 3.48, HotRows: 41, WriteFraction: 0.4},
+		{Name: "gcc_17", Suite: "SPEC2017", FootprintBytes: gb(0.36), MPKI: 0.55, HotRows: 38, WriteFraction: 0.35},
+		{Name: "swapt", Suite: "PARSEC", FootprintBytes: gb(0.76), MPKI: 3.52, HotRows: 37, WriteFraction: 0.3},
+		{Name: "black", Suite: "PARSEC", FootprintBytes: gb(0.55), MPKI: 3.08, HotRows: 37, WriteFraction: 0.3},
+		{Name: "comm1", Suite: "COMMERCIAL", FootprintBytes: gb(1.55), MPKI: 5.93, HotRows: 19, WriteFraction: 0.35},
+		{Name: "xz_17", Suite: "SPEC2017", FootprintBytes: gb(0.64), MPKI: 5.12, HotRows: 12, WriteFraction: 0.35},
+		{Name: "comm2", Suite: "COMMERCIAL", FootprintBytes: gb(3.37), MPKI: 6.14, HotRows: 8, WriteFraction: 0.35},
+		{Name: "omnetpp_17", Suite: "SPEC2017", FootprintBytes: gb(1.55), MPKI: 9.81, HotRows: 7, WriteFraction: 0.3},
+		{Name: "fluid", Suite: "PARSEC", FootprintBytes: gb(0.99), MPKI: 2.70, HotRows: 7, WriteFraction: 0.3},
+		{Name: "omnetpp", Suite: "SPEC2006", FootprintBytes: gb(1.1), MPKI: 17.24, HotRows: 5, WriteFraction: 0.3},
+		{Name: "face", Suite: "PARSEC", FootprintBytes: gb(1.1), MPKI: 7.18, HotRows: 3, WriteFraction: 0.3},
+		{Name: "mcf", Suite: "SPEC2006", FootprintBytes: gb(7.71), MPKI: 107.81, HotRows: 2, WriteFraction: 0.3},
+		{Name: "gromacs", Suite: "SPEC2006", FootprintBytes: gb(0.06), MPKI: 0.58, HotRows: 1, WriteFraction: 0.3},
+		{Name: "comm5", Suite: "COMMERCIAL", FootprintBytes: gb(0.67), MPKI: 1.48, HotRows: 1, WriteFraction: 0.35},
+		{Name: "comm3", Suite: "COMMERCIAL", FootprintBytes: gb(1.77), MPKI: 2.84, HotRows: 1, WriteFraction: 0.35},
+	}
+}
+
+// OtherWorkloads returns stand-ins for the remaining 44 single-program
+// workloads of the paper's 78 ("the other 50 workloads do not encounter
+// row-swap", which includes the 6 mixes): spread over the same suites with
+// varied footprints and MPKIs but no hot rows.
+func OtherWorkloads() []Workload {
+	suites := []string{"SPEC2006", "SPEC2017", "GAP", "BIOBENCH", "PARSEC", "COMMERCIAL"}
+	mpkis := []float64{0.3, 0.8, 1.6, 2.5, 4.1, 6.3, 9.7, 14.2, 21.0, 33.5, 51.0}
+	foot := []float64{0.03, 0.12, 0.4, 0.9, 1.8, 3.5, 6.2, 9.8}
+	var out []Workload
+	for i := 0; i < 44; i++ {
+		out = append(out, Workload{
+			Name:           fmt.Sprintf("%s_syn%02d", suites[i%len(suites)], i),
+			Suite:          suites[i%len(suites)],
+			FootprintBytes: gb(foot[i%len(foot)]),
+			MPKI:           mpkis[i%len(mpkis)],
+			HotRows:        0,
+			WriteFraction:  0.3,
+		})
+	}
+	return out
+}
+
+// Mix describes a multi-programmed workload: one entry per core.
+type Mix struct {
+	Name      string
+	Workloads []Workload
+}
+
+// Mixes returns the paper's 6 mixed workloads as random combinations of
+// catalog entries (deterministic selection).
+func Mixes(cores int) []Mix {
+	base := Table3Workloads()
+	var out []Mix
+	for m := 0; m < 6; m++ {
+		mix := Mix{Name: fmt.Sprintf("mix%d", m+1)}
+		for c := 0; c < cores; c++ {
+			mix.Workloads = append(mix.Workloads, base[(m*7+c*3)%len(base)])
+		}
+		out = append(out, mix)
+	}
+	return out
+}
+
+// AllWorkloads returns the full 72 single-program workloads (28 detailed +
+// 44 stand-ins). With the 6 mixes this forms the paper's 78-workload set.
+func AllWorkloads() []Workload {
+	return append(Table3Workloads(), OtherWorkloads()...)
+}
+
+// ByName finds a workload in the catalog.
+func ByName(name string) (Workload, bool) {
+	for _, w := range AllWorkloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,311 @@
+// Package trace defines the memory-access trace format the cores consume
+// and synthetic workload generators calibrated to the paper's Table 3
+// characteristics (footprint, MPKI, and the number of rows receiving 800+
+// activations per 64 ms window).
+//
+// The paper drives USIMM with Pin-captured SPEC/GAP/BIOBENCH/PARSEC/
+// COMMERCIAL traces; those traces are proprietary-ish and enormous, so
+// this package substitutes parameterized generators that reproduce the
+// three statistics the RRS results actually depend on: how often the
+// workload misses the LLC (MPKI), how large its footprint is, and how
+// concentrated its row activations are (hot rows). DESIGN.md documents the
+// substitution.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record is one entry of a core's trace: the number of non-memory
+// instructions preceding a memory operation, the memory line address, and
+// whether it is a store. Addresses are cache-line indices in the paper's
+// physical address space.
+type Record struct {
+	Gap   uint32
+	Line  uint64
+	Write bool
+}
+
+// Reader produces a stream of records. Synthetic generators are endless;
+// file readers report io.EOF via ok == false.
+type Reader interface {
+	Next() (Record, bool)
+}
+
+// --- Binary trace file format ---
+
+// Writer serializes records to a stream (13 bytes each, little endian).
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write appends one record.
+func (t *Writer) Write(r Record) error {
+	var buf [13]byte
+	binary.LittleEndian.PutUint32(buf[0:4], r.Gap)
+	binary.LittleEndian.PutUint64(buf[4:12], r.Line)
+	if r.Write {
+		buf[12] = 1
+	}
+	_, err := t.w.Write(buf[:])
+	return err
+}
+
+// FileReader deserializes records written by Writer.
+type FileReader struct {
+	r   io.Reader
+	err error
+}
+
+// NewFileReader wraps r.
+func NewFileReader(r io.Reader) *FileReader { return &FileReader{r: r} }
+
+// Next implements Reader.
+func (f *FileReader) Next() (Record, bool) {
+	if f.err != nil {
+		return Record{}, false
+	}
+	var buf [13]byte
+	if _, err := io.ReadFull(f.r, buf[:]); err != nil {
+		f.err = err
+		return Record{}, false
+	}
+	return Record{
+		Gap:   binary.LittleEndian.Uint32(buf[0:4]),
+		Line:  binary.LittleEndian.Uint64(buf[4:12]),
+		Write: buf[12] != 0,
+	}, true
+}
+
+// Err returns the terminal error (io.EOF after a clean end).
+func (f *FileReader) Err() error { return f.err }
+
+// --- Synthetic workloads ---
+
+// Workload describes a benchmark's memory behaviour, with the Table 3
+// figures it is calibrated against.
+type Workload struct {
+	// Name and Suite identify the benchmark ("hmmer", "SPEC2006").
+	Name  string
+	Suite string
+	// FootprintBytes is the resident memory size the paper reports.
+	FootprintBytes int64
+	// MPKI is LLC misses per 1000 instructions (Table 3).
+	MPKI float64
+	// HotRows is the paper's count of rows with 800+ activations per
+	// 64 ms (Table 3's "Rows ACT-800+" column); it calibrates how
+	// concentrated the generated stream is.
+	HotRows int
+	// WriteFraction of memory accesses that are stores.
+	WriteFraction float64
+}
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	return fmt.Sprintf("%s(%s) fp=%.2fGB mpki=%.2f hot=%d",
+		w.Name, w.Suite, float64(w.FootprintBytes)/(1<<30), w.MPKI, w.HotRows)
+}
+
+// Generator synthesizes an endless post-LLC access stream with the
+// workload's characteristics. The stream has three components:
+//
+//   - a hot component touching HotRows distinct rows, giving each enough
+//     activations per epoch to cross the 800-ACT line,
+//   - a streaming component walking the footprint sequentially (row
+//     buffer friendly),
+//   - a random component spread over the footprint (row buffer hostile).
+type Generator struct {
+	w        Workload
+	lineSpan uint64 // footprint in lines
+	rowLines uint64 // lines per DRAM row
+	gapMean  float64
+
+	hotShare    float64
+	streamShare float64
+	stride      uint64
+	hotRowBase  []uint64 // first line of each hot row
+
+	rng    splitmix
+	cursor uint64
+	hotIdx int
+}
+
+// splitmix is a fast 64-bit PRNG (splitmix64). Trace synthesis does not
+// need the cryptographic PRINCE generator the RRS hardware uses — that
+// stays confined to swap destinations and CAT hashing.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (r *splitmix) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *splitmix) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 {
+		return r.next() & (n - 1)
+	}
+	return r.next() % n // bias < 2^-40 for n < 2^24; fine for synthesis
+}
+
+func (r *splitmix) intn(n int) int { return int(r.uint64n(uint64(n))) }
+
+// GeneratorParams tie the generator to the memory geometry.
+type GeneratorParams struct {
+	// LineBytes is the cache line size (64).
+	LineBytes int
+	// RowBytes is the DRAM row size (8 KB); hot rows are aligned to it.
+	RowBytes int
+	// HotShare is the fraction of accesses aimed at hot rows; 0 derives
+	// a share that gives each hot row ~1000 accesses per million
+	// instructions per core at the workload's MPKI.
+	HotShare float64
+	// StreamShare is the fraction of accesses that walk sequentially
+	// (default 0.3).
+	StreamShare float64
+	// StreamStride is the line step of the streaming walk; the default
+	// (1/8 of a row, 8 touches per row) keeps any single row's burst
+	// well below the swap threshold at every experiment scale — at full
+	// scale even a dense walk (128 lines/row) sits far below T_RRS =
+	// 800, so the stride only matters for scaled runs.
+	StreamStride uint64
+	// Seed drives the random components.
+	Seed uint64
+}
+
+// NewGenerator builds a generator for w.
+func NewGenerator(w Workload, p GeneratorParams) *Generator {
+	if p.LineBytes == 0 {
+		p.LineBytes = 64
+	}
+	if p.RowBytes == 0 {
+		p.RowBytes = 8 << 10
+	}
+	if p.StreamShare == 0 {
+		p.StreamShare = 0.3
+	}
+	lineSpan := uint64(w.FootprintBytes) / uint64(p.LineBytes)
+	if lineSpan < 1024 {
+		lineSpan = 1024
+	}
+	rowLines := uint64(p.RowBytes / p.LineBytes)
+
+	stride := p.StreamStride
+	if stride == 0 {
+		stride = rowLines / 8
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	g := &Generator{
+		w:           w,
+		lineSpan:    lineSpan,
+		rowLines:    rowLines,
+		gapMean:     1000 / maxf(w.MPKI, 0.01),
+		streamShare: p.StreamShare,
+		stride:      stride,
+		rng:         splitmix{s: p.Seed ^ hashName(w.Name)},
+	}
+
+	if w.HotRows > 0 {
+		// Spread hot rows over distinct (bank, row) combinations by
+		// spacing them a prime number of rows apart in the address space.
+		g.hotRowBase = make([]uint64, w.HotRows)
+		span := lineSpan / rowLines // rows in footprint
+		if span == 0 {
+			span = 1
+		}
+		for i := range g.hotRowBase {
+			g.hotRowBase[i] = (uint64(i) * 2654435761 % span) * rowLines
+		}
+		hs := p.HotShare
+		if hs == 0 {
+			// Calibrate so each hot row receives activations at ~1.25x
+			// the 800-per-64ms line. The per-core instruction rate uses
+			// an MPKI-aware IPC estimate (memory-bound workloads run far
+			// below the 4-wide peak). The Workload's HotRows here is the
+			// per-core share; sim splits the system-wide Table 3 count
+			// across cores.
+			const rowActRate = 800 * 1.25 / 0.064 // target ACT/s per hot row
+			ipc := 4 / (1 + 0.4*g.w.MPKI)
+			if ipc < 0.25 {
+				ipc = 0.25
+			}
+			missRate := g.w.MPKI / 1000 * ipc * 3.2e9
+			hs = float64(g.w.HotRows) * rowActRate / missRate
+			if hs > 0.95 {
+				hs = 0.95
+			}
+		}
+		g.hotShare = hs
+	}
+	return g
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Next implements Reader. The gap is exponentially distributed around the
+// MPKI-derived mean, making miss bursts and lulls realistic.
+func (g *Generator) Next() (Record, bool) {
+	gap := g.expGap()
+	r := g.rng.float64()
+	var line uint64
+	switch {
+	case r < g.hotShare && len(g.hotRowBase) > 0:
+		// Hot-row access: random column within one hot row. Round-robin
+		// rotation gives each row the regular inter-access spacing of a
+		// loop-driven working set (important for the BlockHammer
+		// comparison: regular spacing above tDelay is not throttled).
+		row := g.hotRowBase[g.hotIdx]
+		g.hotIdx = (g.hotIdx + 1) % len(g.hotRowBase)
+		line = row + g.rng.uint64n(g.rowLines)
+	case r < g.hotShare+g.streamShare:
+		g.cursor = (g.cursor + g.stride) % g.lineSpan
+		line = g.cursor
+	default:
+		line = g.rng.uint64n(g.lineSpan)
+	}
+	return Record{
+		Gap:   gap,
+		Line:  line,
+		Write: g.rng.float64() < g.w.WriteFraction,
+	}, true
+}
+
+// expGap draws an exponentially distributed instruction gap.
+func (g *Generator) expGap() uint32 {
+	u := g.rng.float64()
+	if u >= 1 {
+		u = 0.999999
+	}
+	// Inverse CDF of Exp(1/gapMean).
+	v := -g.gapMean * math.Log1p(-u)
+	if v > 1e9 {
+		v = 1e9
+	}
+	return uint32(v)
+}

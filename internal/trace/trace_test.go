@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Gap: 0, Line: 42, Write: false},
+		{Gap: 1000, Line: 1 << 40, Write: true},
+		{Gap: 4294967295, Line: 0, Write: false},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewFileReader(&buf)
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("extra record")
+	}
+	if r.Err() != io.EOF {
+		t.Fatalf("Err = %v, want EOF", r.Err())
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	w := Table3Workloads()[0]
+	p := GeneratorParams{Seed: 7}
+	a, b := NewGenerator(w, p), NewGenerator(w, p)
+	for i := 0; i < 500; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestGeneratorFootprintBound(t *testing.T) {
+	w := Workload{Name: "x", FootprintBytes: 1 << 20, MPKI: 10}
+	g := NewGenerator(w, GeneratorParams{Seed: 1})
+	span := uint64(1<<20) / 64
+	for i := 0; i < 5000; i++ {
+		r, _ := g.Next()
+		if r.Line >= span {
+			t.Fatalf("line %d outside footprint %d", r.Line, span)
+		}
+	}
+}
+
+func TestGeneratorMPKICalibration(t *testing.T) {
+	// Mean instruction gap should track 1000/MPKI.
+	w := Workload{Name: "x", FootprintBytes: 1 << 24, MPKI: 5}
+	g := NewGenerator(w, GeneratorParams{Seed: 3})
+	var insts, accesses int64
+	for i := 0; i < 20000; i++ {
+		r, _ := g.Next()
+		insts += int64(r.Gap) + 1
+		accesses++
+	}
+	mpki := float64(accesses) / float64(insts) * 1000
+	if mpki < 3.5 || mpki > 6.5 {
+		t.Fatalf("generated MPKI = %.2f, want ~5", mpki)
+	}
+}
+
+func TestGeneratorHotRowsConcentration(t *testing.T) {
+	w := Workload{Name: "x", FootprintBytes: 1 << 28, MPKI: 20, HotRows: 4}
+	g := NewGenerator(w, GeneratorParams{Seed: 5, HotShare: 0.5})
+	rowCounts := map[uint64]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		r, _ := g.Next()
+		rowCounts[r.Line/128]++ // 8KB rows of 64B lines
+	}
+	hot := 0
+	for _, c := range rowCounts {
+		if c > draws/100 {
+			hot++
+		}
+	}
+	if hot != w.HotRows {
+		t.Fatalf("found %d hot rows, want %d", hot, w.HotRows)
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	w := Workload{Name: "x", FootprintBytes: 1 << 24, MPKI: 10, WriteFraction: 0.3}
+	g := NewGenerator(w, GeneratorParams{Seed: 9})
+	writes := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		r, _ := g.Next()
+		if r.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / draws
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("write fraction = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestTable3CatalogMatchesPaper(t *testing.T) {
+	ws := Table3Workloads()
+	if len(ws) != 28 {
+		t.Fatalf("Table 3 has %d workloads, want 28", len(ws))
+	}
+	if ws[0].Name != "hmmer" || ws[0].HotRows != 1675 {
+		t.Fatalf("first row %+v", ws[0])
+	}
+	if ws[27].Name != "comm3" || ws[27].HotRows != 1 {
+		t.Fatalf("last row %+v", ws[27])
+	}
+	// Hot-row counts are in the paper's descending order.
+	for i := 1; i < len(ws); i++ {
+		if ws[i].HotRows > ws[i-1].HotRows {
+			t.Fatalf("hot rows not descending at %s", ws[i].Name)
+		}
+	}
+	// mcf has the highest MPKI (107.81).
+	var mcf Workload
+	for _, w := range ws {
+		if w.Name == "mcf" {
+			mcf = w
+		}
+	}
+	if mcf.MPKI != 107.81 {
+		t.Fatalf("mcf MPKI = %v", mcf.MPKI)
+	}
+}
+
+func TestSeventyEightWorkloads(t *testing.T) {
+	n := len(AllWorkloads()) + len(Mixes(8))
+	if n != 78 {
+		t.Fatalf("workload set has %d entries, want 78", n)
+	}
+}
+
+func TestMixesHaveOneWorkloadPerCore(t *testing.T) {
+	for _, m := range Mixes(8) {
+		if len(m.Workloads) != 8 {
+			t.Fatalf("mix %s has %d workloads", m.Name, len(m.Workloads))
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("bzip2"); !ok || w.MPKI != 5.57 {
+		t.Fatalf("ByName(bzip2) = %+v, %v", w, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("found nonexistent workload")
+	}
+}
+
+func TestDistinctWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range AllWorkloads() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}

@@ -1,0 +1,167 @@
+package tracker
+
+// CAM is the reference Misra-Gries tracker: a fully associative
+// (content-addressable) table as used by Graphene. It keeps a histogram of
+// counter values plus a rolling minimum so that the "is the minimum counter
+// equal to the spill counter" test and minimum-entry replacement are O(1)
+// amortized.
+type CAM struct {
+	threshold int64
+	capacity  int
+	spill     int64
+
+	counts map[uint64]int64 // row -> estimated count
+	hist   map[int64]int    // count value -> number of entries with it
+	minVal int64            // min counter value over entries (valid if len>0)
+
+	// anyAtMin caches one row id at the minimum count; rebuilt lazily.
+	minScratch []uint64
+}
+
+var _ Tracker = (*CAM)(nil)
+
+// NewCAM creates a reference tracker with the given entry capacity and
+// swap threshold.
+func NewCAM(capacity int, threshold int64) *CAM {
+	if capacity <= 0 || threshold <= 0 {
+		panic("tracker: capacity and threshold must be positive")
+	}
+	return &CAM{
+		threshold: threshold,
+		capacity:  capacity,
+		counts:    make(map[uint64]int64, capacity),
+		hist:      make(map[int64]int),
+	}
+}
+
+// Observe implements Tracker.
+func (c *CAM) Observe(row uint64) bool {
+	if cnt, ok := c.counts[row]; ok {
+		c.bump(row, cnt, cnt+1)
+		return crossedMultiple(cnt, cnt+1, c.threshold)
+	}
+	// Installs never trigger: a row not in the table has a true count of
+	// at most the spill counter, which the Misra-Gries sizing bounds by
+	// W/(N+1) < T — so a freshly installed row cannot already have T true
+	// activations. (Its estimate may start at spill+1 and cross a
+	// multiple late by up to spill; the security analysis absorbs that
+	// slack, and triggering on installs instead would cause swap storms
+	// on flat access patterns once the spill counter saturates.)
+	if len(c.counts) < c.capacity {
+		c.insert(row, c.spill+1)
+		return false
+	}
+	if c.minVal > c.spill {
+		c.spill++
+		return false
+	}
+	// minVal == spill (minVal < spill is impossible; see invariant below):
+	// replace one minimum entry with the new row at count spill+1.
+	victim := c.findMin()
+	c.remove(victim, c.minVal)
+	c.insert(row, c.spill+1)
+	return false
+}
+
+// insert adds row with the given count and updates the histogram/min.
+func (c *CAM) insert(row uint64, cnt int64) {
+	c.counts[row] = cnt
+	c.hist[cnt]++
+	if len(c.counts) == 1 || cnt < c.minVal {
+		c.minVal = cnt
+	}
+}
+
+// remove drops row (which must have count cnt).
+func (c *CAM) remove(row uint64, cnt int64) {
+	delete(c.counts, row)
+	c.hist[cnt]--
+	if c.hist[cnt] == 0 {
+		delete(c.hist, cnt)
+		if cnt == c.minVal {
+			c.advanceMin()
+		}
+	}
+}
+
+// bump moves row from count prev to count next.
+func (c *CAM) bump(row uint64, prev, next int64) {
+	c.counts[row] = next
+	c.hist[prev]--
+	c.hist[next]++
+	if c.hist[prev] == 0 {
+		delete(c.hist, prev)
+		if prev == c.minVal {
+			c.advanceMin()
+		}
+	}
+}
+
+// advanceMin walks minVal forward to the next populated histogram bucket.
+// Counts only grow by one per observation, so the walk is O(1) amortized.
+func (c *CAM) advanceMin() {
+	if len(c.counts) == 0 {
+		c.minVal = 0
+		return
+	}
+	for c.hist[c.minVal] == 0 {
+		c.minVal++
+	}
+}
+
+// findMin returns some row with the minimum count. A scratch list of
+// minimum-count candidates is rebuilt by scanning at most once per minimum
+// value, so consecutive replacements at the same minimum are O(1).
+func (c *CAM) findMin() uint64 {
+	for len(c.minScratch) > 0 {
+		row := c.minScratch[len(c.minScratch)-1]
+		c.minScratch = c.minScratch[:len(c.minScratch)-1]
+		if cnt, ok := c.counts[row]; ok && cnt == c.minVal {
+			return row
+		}
+	}
+	for row, cnt := range c.counts {
+		if cnt == c.minVal {
+			c.minScratch = append(c.minScratch, row)
+		}
+	}
+	if len(c.minScratch) == 0 {
+		panic("tracker: histogram out of sync with entries")
+	}
+	row := c.minScratch[len(c.minScratch)-1]
+	c.minScratch = c.minScratch[:len(c.minScratch)-1]
+	return row
+}
+
+// Contains implements Tracker.
+func (c *CAM) Contains(row uint64) bool {
+	_, ok := c.counts[row]
+	return ok
+}
+
+// Count implements Tracker.
+func (c *CAM) Count(row uint64) (int64, bool) {
+	cnt, ok := c.counts[row]
+	return cnt, ok
+}
+
+// Spill implements Tracker.
+func (c *CAM) Spill() int64 { return c.spill }
+
+// Len implements Tracker.
+func (c *CAM) Len() int { return len(c.counts) }
+
+// Capacity implements Tracker.
+func (c *CAM) Capacity() int { return c.capacity }
+
+// Threshold implements Tracker.
+func (c *CAM) Threshold() int64 { return c.threshold }
+
+// Reset implements Tracker.
+func (c *CAM) Reset() {
+	c.spill = 0
+	c.minVal = 0
+	c.minScratch = c.minScratch[:0]
+	clear(c.counts)
+	clear(c.hist)
+}

@@ -1,0 +1,179 @@
+package tracker
+
+import (
+	"math"
+
+	"repro/internal/cat"
+)
+
+// CAT is the paper's scalable Misra-Gries tracker (Section 6.4): entries
+// live in a Collision Avoidance Table, and each set carries a SetMin
+// counter tracking the minimum access count in that set. The spill counter
+// is compared against the SetMin counters (128 of them for the default
+// 2x64-set geometry) instead of a fully associative counter search.
+type CAT struct {
+	threshold int64
+	capacity  int
+	spill     int64
+
+	tab *cat.Table[int64] // row -> estimated count
+	// setMin[ti][s] is the minimum count in set s of table ti, or
+	// math.MaxInt64 when the set is empty.
+	setMin [2][]int64
+}
+
+var _ Tracker = (*CAT)(nil)
+
+// NewCAT creates a scalable tracker with the given CAT geometry, entry
+// capacity and swap threshold. The geometry must have at least capacity
+// slots; the paper uses 2x64 sets x 20 ways (2560 slots) for 1700 entries,
+// i.e., 14 demand ways and 6 extra ways per set.
+func NewCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) *CAT {
+	if capacity <= 0 || threshold <= 0 {
+		panic("tracker: capacity and threshold must be positive")
+	}
+	if spec.Slots() < capacity {
+		panic("tracker: CAT geometry smaller than tracker capacity")
+	}
+	t := &CAT{
+		threshold: threshold,
+		capacity:  capacity,
+		tab:       cat.New[int64](spec, seed),
+	}
+	for ti := 0; ti < 2; ti++ {
+		t.setMin[ti] = make([]int64, spec.Sets)
+		for s := range t.setMin[ti] {
+			t.setMin[ti][s] = math.MaxInt64
+		}
+	}
+	return t
+}
+
+// recomputeSetMin rescans one set's counters.
+func (t *CAT) recomputeSetMin(ti, s int) {
+	min := int64(math.MaxInt64)
+	t.tab.ForEachInSet(ti, s, func(_ uint64, v *int64) bool {
+		if *v < min {
+			min = *v
+		}
+		return true
+	})
+	t.setMin[ti][s] = min
+}
+
+// touch updates the SetMin counters of both candidate sets of row.
+func (t *CAT) touch(row uint64) {
+	s0, s1 := t.tab.SetsOf(row)
+	t.recomputeSetMin(0, s0)
+	t.recomputeSetMin(1, s1)
+}
+
+// globalMin scans the SetMin counters (the hardware does this in the
+// shadow of the memory access; see the paper).
+func (t *CAT) globalMin() int64 {
+	min := int64(math.MaxInt64)
+	for ti := 0; ti < 2; ti++ {
+		for _, m := range t.setMin[ti] {
+			if m < min {
+				min = m
+			}
+		}
+	}
+	return min
+}
+
+// Observe implements Tracker.
+func (t *CAT) Observe(row uint64) bool {
+	if p := t.tab.Lookup(row); p != nil {
+		prev := *p
+		*p = prev + 1
+		t.touch(row)
+		return crossedMultiple(prev, prev+1, t.threshold)
+	}
+	// Installs never trigger (see the CAM implementation's comment: an
+	// untracked row's true count is bounded by the spill counter < T).
+	if t.tab.Len() < t.capacity {
+		t.install(row, t.spill+1)
+		return false
+	}
+	min := t.globalMin()
+	if min > t.spill {
+		t.spill++
+		return false
+	}
+	// Replace an entry holding the minimum count: find a set whose SetMin
+	// equals the global minimum and evict a minimum entry from it.
+	victim, found := t.findMinEntry(min)
+	if found {
+		t.tab.Delete(victim)
+		t.touch(victim)
+	}
+	t.install(row, t.spill+1)
+	return false
+}
+
+// findMinEntry locates some entry whose count equals min.
+func (t *CAT) findMinEntry(min int64) (row uint64, found bool) {
+	for ti := 0; ti < 2 && !found; ti++ {
+		for s, m := range t.setMin[ti] {
+			if m != min {
+				continue
+			}
+			t.tab.ForEachInSet(ti, s, func(key uint64, v *int64) bool {
+				if *v == min {
+					row, found = key, true
+					return false
+				}
+				return true
+			})
+			if found {
+				return row, true
+			}
+		}
+	}
+	return row, found
+}
+
+// install adds row at the given count; a CAT conflict (astronomically rare
+// with 6 extra ways) falls back to dropping the install, which only makes
+// the tracker more conservative about the spill bound on the next miss.
+func (t *CAT) install(row uint64, cnt int64) {
+	if t.tab.Install(row, cnt) != nil {
+		t.touch(row)
+	}
+}
+
+// Contains implements Tracker.
+func (t *CAT) Contains(row uint64) bool { return t.tab.Contains(row) }
+
+// Count implements Tracker.
+func (t *CAT) Count(row uint64) (int64, bool) {
+	if p := t.tab.Lookup(row); p != nil {
+		return *p, true
+	}
+	return 0, false
+}
+
+// Spill implements Tracker.
+func (t *CAT) Spill() int64 { return t.spill }
+
+// Len implements Tracker.
+func (t *CAT) Len() int { return t.tab.Len() }
+
+// Capacity implements Tracker.
+func (t *CAT) Capacity() int { return t.capacity }
+
+// Threshold implements Tracker.
+func (t *CAT) Threshold() int64 { return t.threshold }
+
+// Reset implements Tracker. The hash keys stay fixed (as in hardware,
+// where they are set at boot); only valid bits and counters clear.
+func (t *CAT) Reset() {
+	t.spill = 0
+	t.tab.Clear()
+	for ti := 0; ti < 2; ti++ {
+		for s := range t.setMin[ti] {
+			t.setMin[ti][s] = math.MaxInt64
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package tracker_test
+
+import (
+	"fmt"
+
+	"repro/internal/tracker"
+)
+
+// ExampleCAM walks the paper's Figure 3: a 3-entry Misra-Gries tracker
+// holding {A:6, X:3, Z:9} with spill = 2 processes accesses to A (hit),
+// B (miss, min > spill: spill increments) and C (miss, min == spill: the
+// minimum entry X is replaced).
+func ExampleCAM() {
+	const rowA, rowX, rowZ, rowB, rowC = 1, 2, 3, 4, 5
+	tr := tracker.NewCAM(3, 1000)
+	for i := 0; i < 6; i++ {
+		tr.Observe(rowA)
+	}
+	for i := 0; i < 3; i++ {
+		tr.Observe(rowX)
+	}
+	for i := 0; i < 9; i++ {
+		tr.Observe(rowZ)
+	}
+	tr.Observe(100) // two misses raise the spill counter to 2
+	tr.Observe(101)
+
+	tr.Observe(rowA) // hit: 6 -> 7
+	cnt, _ := tr.Count(rowA)
+	fmt.Printf("A: count %d\n", cnt)
+
+	tr.Observe(rowB) // miss, min(3) > spill(2): spill++
+	fmt.Printf("B tracked: %v, spill %d\n", tr.Contains(rowB), tr.Spill())
+
+	tr.Observe(rowC) // miss, min(3) == spill(3): replace X with C
+	cnt, _ = tr.Count(rowC)
+	fmt.Printf("C: count %d, X tracked: %v\n", cnt, tr.Contains(rowX))
+	// Output:
+	// A: count 7
+	// B tracked: false, spill 3
+	// C: count 4, X tracked: false
+}
+
+// ExampleEntriesFor shows the paper's structure sizing: tracking a 1.36M
+// activation window at T_RRS = 800 takes 1700 entries.
+func ExampleEntriesFor() {
+	fmt.Println(tracker.EntriesFor(1360000, 800))
+	// Output:
+	// 1700
+}

@@ -1,0 +1,52 @@
+package tracker
+
+import (
+	"testing"
+
+	"repro/internal/cat"
+)
+
+// FuzzMisraGriesGuarantee feeds arbitrary activation streams to both
+// tracker implementations and checks the two safety properties the RRS
+// design rests on: the estimate never undercounts a tracked row, and the
+// spill counter respects the W/(N+1) bound. The seed corpus runs as part
+// of the normal suite; use `go test -fuzz=FuzzMisraGriesGuarantee` for
+// continuous fuzzing.
+func FuzzMisraGriesGuarantee(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 1, 2, 3, 4, 5, 1, 1}, uint64(1))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 9, 8, 7}, uint64(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint64(9))
+
+	f.Fuzz(func(t *testing.T, stream []byte, seed uint64) {
+		if len(stream) > 4096 {
+			stream = stream[:4096]
+		}
+		const capacity, threshold = 8, 5
+		trackers := map[string]Tracker{
+			"cam": NewCAM(capacity, threshold),
+			"cat": NewCAT(cat.Spec{Sets: 4, Ways: 10}, capacity, threshold, seed),
+		}
+		for name, tr := range trackers {
+			truth := map[uint64]int64{}
+			var acts int64
+			for _, b := range stream {
+				row := uint64(b % 31)
+				truth[row]++
+				acts++
+				tr.Observe(row)
+
+				if est, ok := tr.Count(row); ok && est < truth[row] {
+					t.Fatalf("%s: row %d estimate %d < true %d", name, row, est, truth[row])
+				}
+				// Spill bound: spill <= W/(N+1).
+				if bound := acts / int64(capacity+1); tr.Spill() > bound {
+					t.Fatalf("%s: spill %d exceeds bound %d after %d acts",
+						name, tr.Spill(), bound, acts)
+				}
+				if tr.Len() > tr.Capacity() {
+					t.Fatalf("%s: %d entries over capacity", name, tr.Len())
+				}
+			}
+		}
+	})
+}
