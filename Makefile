@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet experiments examples clean
+.PHONY: all build test test-short bench vet lint race serve experiments examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint is what CI runs: vet plus a gofmt cleanliness check.
+lint: vet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# race runs the full suite under the race detector (the service layer
+# is concurrency-heavy; CI runs this on every PR).
+race:
+	$(GO) test -race ./...
+
+# serve starts the simulation job service on :8080.
+serve:
+	$(GO) run ./cmd/rrs-serve
 
 # One benchmark per table/figure of the paper.
 bench:

@@ -7,6 +7,11 @@
 //	rrs-experiments -exp all
 //	rrs-experiments -exp fig6 -scale 16 -epochs 2 -workloads hmmer,bzip2
 //	rrs-experiments -exp table4
+//	rrs-experiments -exp fig10 -server http://localhost:8080
+//
+// With -server, every simulation sweep point is submitted as a job to a
+// running rrs-serve; repeated sweeps (and the baseline runs shared
+// between figures) are then answered from the server's result cache.
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig5 fig6
 // fig7 fig9 fig10 fig11 dos ablation probabilistic detection mixes rowclone
@@ -18,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +31,8 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -40,6 +48,7 @@ func main() {
 		epochs    = flag.Int("epochs", 2, "simulated epochs per run")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the 28 Table 3 workloads)")
 		seed      = flag.Uint64("seed", 0xEC0, "trace seed")
+		server    = flag.String("server", "", "base URL of a running rrs-serve (e.g. http://localhost:8080); simulation sweeps are submitted as jobs and share the server's result cache instead of computing locally")
 	)
 	flag.Parse()
 	csvDir = *csv
@@ -50,6 +59,16 @@ func main() {
 	}
 
 	s := experiments.Scale{Factor: *scale, Epochs: *epochs, Seed: *seed}
+	if *server != "" {
+		client := service.NewClient(*server)
+		if err := client.Health(context.Background()); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rrs-experiments: offloading sweeps to %s\n", *server)
+		s.Runner = func(spec service.Spec) (sim.Result, error) {
+			return client.Run(context.Background(), spec)
+		}
+	}
 	if *workloads != "" {
 		for _, name := range strings.Split(*workloads, ",") {
 			w, ok := trace.ByName(strings.TrimSpace(name))

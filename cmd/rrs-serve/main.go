@@ -1,0 +1,91 @@
+// Command rrs-serve exposes the simulation engine as an HTTP job
+// service: submitted specs are queued FIFO, executed by a worker pool,
+// answered from a content-addressed result cache on re-submission, and
+// observable through per-job status and a Prometheus/JSON metrics
+// endpoint.
+//
+// Usage:
+//
+//	rrs-serve -addr :8080 -workers 8 -queue-depth 128 -cache-entries 512
+//
+// Walkthrough:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"workloads":["bzip2"],"mitigation":"rrs","scale":16,"epochs":2}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM starts a graceful shutdown: intake stops, queued jobs
+// are cancelled, running jobs drain within -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 64, "max queued jobs before 429s")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity (-1 disables)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job run limit (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
+	)
+	flag.Parse()
+
+	mgr := service.NewManager(service.Options{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *jobTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.Handler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rrs-serve: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rrs-serve: shutting down, draining running jobs...")
+	case err := <-errc:
+		fatalf("%v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rrs-serve: http shutdown: %v\n", err)
+	}
+	if err := mgr.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rrs-serve: job drain incomplete: %v\n", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rrs-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

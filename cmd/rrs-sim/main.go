@@ -7,18 +7,23 @@
 //	rrs-sim -workload bzip2 -mitigation rrs -scale 16 -epochs 2
 //	rrs-sim -workload hmmer -mitigation blockhammer -blacklist 512
 //	rrs-sim -list
+//
+// The flags compile to the same service.Spec that cmd/rrs-serve accepts
+// over POST /v1/jobs, so a served job with identical knobs reproduces
+// this command's numbers exactly. Ctrl-C interrupts a long run cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/dram"
-	"repro/internal/memctrl"
 	"repro/internal/mitigation"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -46,21 +51,27 @@ func main() {
 	if !ok {
 		fatalf("unknown workload %q (use -list)", *workload)
 	}
-	cfg := config.Default().Scaled(*scale)
 
-	factory, err := mitigationFactory(*mit, *scale, uint32(*blacklist))
+	spec := service.Spec{
+		Workloads:  []string{*workload},
+		Mitigation: *mit,
+		Blacklist:  uint32(*blacklist),
+		Scale:      *scale,
+		Epochs:     *epochs,
+		Seed:       *seed,
+	}
+	opts, err := spec.Options()
 	if err != nil {
 		fatalf("%v", err)
 	}
+	cfg := opts.Config
 
-	res, err := sim.Run(sim.Options{
-		Config:              cfg,
-		Workloads:           []trace.Workload{w},
-		Mitigation:          factory,
-		InstructionsPerCore: 1 << 62,
-		CycleLimit:          int64(*epochs) * cfg.EpochCycles,
-		Seed:                *seed,
-	})
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+
+	res, err := sim.Run(opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -88,46 +99,6 @@ func main() {
 		st := b.Stats()
 		fmt.Printf("\nBlockHammer: blacklisted ACTs %d, delay cycles %d (tDelay %d)\n",
 			st.BlacklistedActs, st.DelayCycles, b.TDelay())
-	}
-}
-
-func mitigationFactory(name string, scale int, blacklist uint32) (func(*dram.System) memctrl.Mitigation, error) {
-	switch name {
-	case "none":
-		return nil, nil
-	case "rrs", "rrs-cam":
-		return func(sys *dram.System) memctrl.Mitigation {
-			p := core.ScaledParams(sys.Config())
-			p.UseCAMTracker = name == "rrs-cam"
-			r, err := core.New(sys, p)
-			if err != nil {
-				panic(err)
-			}
-			return r
-		}, nil
-	case "para":
-		return func(sys *dram.System) memctrl.Mitigation {
-			return mitigation.NewPARA(sys,
-				mitigation.DefaultPARAProbability(sys.Config().RowHammerThreshold), 7)
-		}, nil
-	case "graphene":
-		return func(sys *dram.System) memctrl.Mitigation {
-			return mitigation.NewGraphene(sys,
-				mitigation.DefaultGrapheneThreshold(sys.Config().RowHammerThreshold), 1, 7)
-		}, nil
-	case "ideal":
-		return func(sys *dram.System) memctrl.Mitigation {
-			return mitigation.NewIdeal(sys,
-				mitigation.DefaultGrapheneThreshold(sys.Config().RowHammerThreshold))
-		}, nil
-	case "blockhammer":
-		return func(sys *dram.System) memctrl.Mitigation {
-			p := mitigation.DefaultBlockHammerParams()
-			p.BlacklistThreshold = max(1, blacklist/uint32(max(1, scale)))
-			return mitigation.NewBlockHammer(sys, p)
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown mitigation %q", name)
 	}
 }
 

@@ -17,6 +17,8 @@
 //   - internal/power — DRAM energy and SRAM power/storage models
 //   - internal/sim, internal/experiments — harnesses regenerating every
 //     table and figure of the paper's evaluation
+//   - internal/service — a queued, cached, observable simulation job
+//     service (HTTP API + client) served by cmd/rrs-serve
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -12,11 +12,14 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/mitigation"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -32,6 +35,13 @@ type Scale struct {
 	// Workloads optionally restricts the workload set (nil = Table 3's
 	// 28 detailed workloads).
 	Workloads []trace.Workload
+	// Runner, when non-nil, executes the named-mitigation sweep points
+	// (the tables and figures built from job specs) instead of an
+	// in-process sim.Run — e.g. service.Client.Run to offload a sweep to
+	// a running rrs-serve, or Manager.RunSync to share a local result
+	// cache. Experiments that build bespoke mitigation parameters (the
+	// probabilistic and RowClone ablations) always run locally.
+	Runner func(service.Spec) (sim.Result, error)
 }
 
 // DefaultScale returns the standard experiment scale: 1/16 epochs
@@ -71,6 +81,65 @@ func (s Scale) options(w trace.Workload) sim.Options {
 		CycleLimit:          int64(epochs) * cfg.EpochCycles,
 		Seed:                s.Seed,
 	}
+}
+
+// spec builds the service job spec for one sweep point: the given
+// workloads at this scale under a named mitigation. It describes the
+// same run as options() + a MitigationFactory — the service executes
+// specs through the identical code path, so local and served sweeps
+// agree bit-for-bit.
+func (s Scale) spec(mit string, blacklist uint32, ws ...trace.Workload) service.Spec {
+	epochs := s.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return service.Spec{
+		Workloads:  names,
+		Mitigation: mit,
+		Blacklist:  blacklist,
+		Scale:      max(1, s.Factor),
+		Epochs:     epochs,
+		Seed:       s.Seed,
+	}
+}
+
+// runSpec executes one sweep point through the Runner (a job service)
+// or, by default, in-process.
+func (s Scale) runSpec(spec service.Spec) (sim.Result, error) {
+	if s.Runner != nil {
+		return s.Runner(spec)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(opts)
+}
+
+// normalizedSpec measures spec's mitigated IPC over the unprotected
+// baseline for the same spec (the paper's normalized-performance
+// metric), routing both runs through runSpec so they hit the Runner's
+// cache.
+func (s Scale) normalizedSpec(spec service.Spec) (float64, sim.Result, sim.Result, error) {
+	base := spec
+	base.Mitigation = service.MitNone
+	base.Blacklist = 0
+	baseRes, err := s.runSpec(base)
+	if err != nil {
+		return 0, sim.Result{}, sim.Result{}, err
+	}
+	mitRes, err := s.runSpec(spec)
+	if err != nil {
+		return 0, sim.Result{}, sim.Result{}, err
+	}
+	if baseRes.IPC == 0 {
+		return 0, baseRes, mitRes, fmt.Errorf("experiments: baseline IPC is zero")
+	}
+	return mitRes.IPC / baseRes.IPC, baseRes, mitRes, nil
 }
 
 // RRSFactory builds an RRS mitigation with the swap cost scaled to match

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -129,9 +130,7 @@ func MixedWorkloads(s Scale, count int) ([]Figure6Row, *stats.Table, error) {
 	t := stats.NewTable("Mix", "RRS normalized perf")
 	var norms []float64
 	for _, m := range mixes {
-		opts := s.options(m.Workloads[0])
-		opts.Workloads = m.Workloads
-		norm, _, _, err := sim.NormalizedPerformance(opts, s.RRSFactory())
+		norm, _, _, err := s.normalizedSpec(s.spec(service.MitRRS, 0, m.Workloads...))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -7,8 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cat"
 	"repro/internal/core"
-	"repro/internal/dram"
-	"repro/internal/memctrl"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -26,9 +25,7 @@ type Figure5Row struct {
 func Figure5(s Scale) ([]Figure5Row, *stats.Table, error) {
 	ws := s.workloads()
 	results, err := runAll(ws, func(w trace.Workload) (sim.Result, error) {
-		opts := s.options(w)
-		opts.Mitigation = s.RRSFactory()
-		return sim.Run(opts)
+		return s.runSpec(s.spec(service.MitRRS, 0, w))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -54,13 +51,13 @@ type Figure6Row struct {
 // Figure6 measures the performance of RRS normalized to the unprotected
 // baseline (the paper's headline: 0.4% average slowdown).
 func Figure6(s Scale) ([]Figure6Row, *stats.Table, error) {
-	return normalizedPerf(s, s.RRSFactory(), "RRS")
+	return normalizedPerf(s, service.MitRRS, 0, "RRS")
 }
 
-func normalizedPerf(s Scale, mit mitigationFactory, label string) ([]Figure6Row, *stats.Table, error) {
+func normalizedPerf(s Scale, mit string, blacklist uint32, label string) ([]Figure6Row, *stats.Table, error) {
 	ws := s.workloads()
 	norms, err := runAll(ws, func(w trace.Workload) (float64, error) {
-		norm, _, _, err := sim.NormalizedPerformance(s.options(w), mit)
+		norm, _, _, err := s.normalizedSpec(s.spec(mit, blacklist, w))
 		return norm, err
 	})
 	if err != nil {
@@ -182,9 +179,9 @@ func Figure10(s Scale) ([]Figure10Point, *stats.Table, error) {
 			trh = 6
 		}
 		norms, err := runAll(s.workloads(), func(w trace.Workload) (float64, error) {
-			opts := s.options(w)
-			opts.Config.RowHammerThreshold = trh
-			norm, _, _, err := sim.NormalizedPerformance(opts, s.RRSFactory())
+			spec := s.spec(service.MitRRS, 0, w)
+			spec.RowHammerThreshold = trh
+			norm, _, _, err := s.normalizedSpec(spec)
 			return norm, err
 		})
 		if err != nil {
@@ -208,17 +205,18 @@ type Figure11Series struct {
 // blacklist thresholds of 512 and 1K (scaled with the epoch).
 func Figure11(s Scale) ([]Figure11Series, *stats.Table, error) {
 	defenses := []struct {
-		label string
-		mit   mitigationFactory
+		label     string
+		mit       string
+		blacklist uint32
 	}{
-		{"RRS", s.RRSFactory()},
-		{"BH-512", s.BlockHammerFactory(512)},
-		{"BH-1K", s.BlockHammerFactory(1024)},
+		{"RRS", service.MitRRS, 0},
+		{"BH-512", service.MitBlockHammer, 512},
+		{"BH-1K", service.MitBlockHammer, 1024},
 	}
 	var series []Figure11Series
 	for _, d := range defenses {
 		norms, err := runAll(s.workloads(), func(w trace.Workload) (float64, error) {
-			norm, _, _, err := sim.NormalizedPerformance(s.options(w), d.mit)
+			norm, _, _, err := s.normalizedSpec(s.spec(d.mit, d.blacklist, w))
 			return norm, err
 		})
 		if err != nil {
@@ -289,23 +287,13 @@ func TrackerAblation(s Scale, workload string) ([]AblationRow, *stats.Table, err
 	}
 	variants := []struct {
 		label string
-		cam   bool
-	}{{"CAT (scalable)", false}, {"CAM (reference)", true}}
+		mit   string
+	}{{"CAT (scalable)", service.MitRRS}, {"CAM (reference)", service.MitRRSCAM}}
 
 	var rows []AblationRow
 	t := stats.NewTable("Tracker", "Normalized perf", "Swaps/epoch")
 	for _, v := range variants {
-		cam := v.cam
-		factory := func(sys *dram.System) memctrl.Mitigation {
-			p := core.ScaledParams(sys.Config())
-			p.UseCAMTracker = cam
-			r, err := core.New(sys, p)
-			if err != nil {
-				panic(err)
-			}
-			return r
-		}
-		norm, _, mitRes, err := sim.NormalizedPerformance(s.options(w), factory)
+		norm, _, mitRes, err := s.normalizedSpec(s.spec(v.mit, 0, w))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -10,7 +12,9 @@ import (
 
 // runAll executes fn for every workload concurrently (each simulation is
 // independent and single-threaded) and returns results in workload order.
-// The first error wins.
+// Every failure is reported: errors are labelled with their workload and
+// aggregated with errors.Join, so a multi-workload sweep that fails on
+// three benchmarks names all three.
 func runAll[T any](ws []trace.Workload, fn func(trace.Workload) (T, error)) ([]T, error) {
 	out := make([]T, len(ws))
 	errs := make([]error, len(ws))
@@ -22,14 +26,16 @@ func runAll[T any](ws []trace.Workload, fn func(trace.Workload) (T, error)) ([]T
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = fn(w)
+			var err error
+			out[i], err = fn(w)
+			if err != nil {
+				errs[i] = fmt.Errorf("workload %s: %w", w.Name, err)
+			}
 		}(i, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tinyScale keeps runner tests to a fraction of a second: 1/256 epochs
+// on one small workload.
+func tinyScale() Scale {
+	w, _ := trace.ByName("bzip2")
+	return Scale{Factor: 256, Epochs: 1, Seed: 3, Workloads: []trace.Workload{w}}
+}
+
+// TestRunnerReceivesSweepSpecs proves the figure sweeps route through
+// Scale.Runner when set — the hook cmd/rrs-experiments --server uses to
+// offload work to rrs-serve.
+func TestRunnerReceivesSweepSpecs(t *testing.T) {
+	s := tinyScale()
+	var calls atomic.Int64
+	var sawMits atomic.Value
+	s.Runner = func(spec service.Spec) (sim.Result, error) {
+		calls.Add(1)
+		if len(spec.Workloads) != 1 || spec.Workloads[0] != "bzip2" {
+			t.Errorf("spec workloads = %v", spec.Workloads)
+		}
+		if spec.Scale != 256 || spec.Epochs != 1 || spec.Seed != 3 {
+			t.Errorf("spec knobs = scale %d epochs %d seed %d", spec.Scale, spec.Epochs, spec.Seed)
+		}
+		sawMits.Store(spec.Mitigation)
+		opts, err := spec.Options()
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return sim.Run(opts)
+	}
+	rows, _, err := Figure5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("runner called %d times, want 1", got)
+	}
+	if sawMits.Load() != service.MitRRS {
+		t.Errorf("mitigation = %v, want %q", sawMits.Load(), service.MitRRS)
+	}
+	if len(rows) != 1 || rows[0].Workload != "bzip2" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+// TestSpecPathMatchesLocalRun checks that a sweep point built as a
+// service spec reproduces the direct sim.Options run bit-for-bit — the
+// property that makes served and local sweeps interchangeable.
+func TestSpecPathMatchesLocalRun(t *testing.T) {
+	s := tinyScale()
+	w := s.Workloads[0]
+
+	viaSpec, err := s.runSpec(s.spec(service.MitRRS, 0, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := s.options(w)
+	opts.Mitigation = s.RRSFactory()
+	direct, err := sim.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSpec.IPC != direct.IPC || viaSpec.Instructions != direct.Instructions ||
+		viaSpec.Accesses != direct.Accesses || viaSpec.Cycles != direct.Cycles ||
+		viaSpec.SwapsPerEpoch != direct.SwapsPerEpoch {
+		t.Errorf("spec path diverges from direct run:\nspec:   %+v\ndirect: %+v",
+			viaSpec, direct)
+	}
+}

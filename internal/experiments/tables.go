@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/power"
 	"repro/internal/security"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -57,7 +58,7 @@ type Table3Row struct {
 func Table3(s Scale) ([]Table3Row, *stats.Table, error) {
 	ws := s.workloads()
 	results, err := runAll(ws, func(w trace.Workload) (sim.Result, error) {
-		return sim.Run(s.options(w))
+		return s.runSpec(s.spec(service.MitNone, 0, w))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -120,7 +121,7 @@ type Table6Result struct {
 // the experiment workloads and the SRAM power of the RRS structures.
 func Table6(s Scale) (Table6Result, *stats.Table, error) {
 	pairs, err := runAll(s.workloads(), func(w trace.Workload) (normPair, error) {
-		norm, base, mit, err := sim.NormalizedPerformance(s.options(w), s.RRSFactory())
+		norm, base, mit, err := s.normalizedSpec(s.spec(service.MitRRS, 0, w))
 		return normPair{norm: norm, base: base, mit: mit}, err
 	})
 	if err != nil {

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// resultCache is a content-addressed LRU of finished simulation results,
+// keyed by Spec.Hash. The engine is deterministic, so a hit is exactly
+// the result a worker would recompute — sweeps that revisit a
+// configuration (Figure 10's threshold sweep, resubmitted experiment
+// runs) pay for each distinct point once.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // hash -> element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res sim.Result
+}
+
+// newResultCache holds up to capacity results; capacity <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key and promotes it to
+// most-recently-used.
+func (c *resultCache) Get(key string) (sim.Result, bool) {
+	if c.cap <= 0 {
+		return sim.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting the least-recently-used entry past
+// capacity. The stored result must already have its Mitigation field
+// cleared (the manager does this): cached entries outlive the run and
+// must not pin the simulated hardware model.
+func (c *resultCache) Put(key string, res sim.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

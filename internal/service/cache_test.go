@@ -1,0 +1,70 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	put := func(key string, ipc float64) { c.Put(key, sim.Result{IPC: ipc}) }
+
+	put("a", 1)
+	put("b", 2)
+	if _, ok := c.Get("a"); !ok { // promotes a over b
+		t.Fatal("a evicted prematurely")
+	}
+	put("c", 3) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for key, want := range map[string]float64{"a": 1, "c": 3} {
+		res, ok := c.Get(key)
+		if !ok || res.IPC != want {
+			t.Errorf("Get(%q) = (%v, %v), want IPC %v", key, res.IPC, ok, want)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+
+	// Overwriting an existing key must not grow the cache.
+	put("a", 10)
+	if res, _ := c.Get("a"); res.IPC != 10 {
+		t.Error("Put did not update existing entry")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len after overwrite = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("a", sim.Result{IPC: 1})
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestResultCacheEvictionOrderUnderChurn(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), sim.Result{IPC: float64(i)})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", c.Len())
+	}
+	for i := 92; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent key k%d missing", i)
+		}
+	}
+	if _, ok := c.Get("k50"); ok {
+		t.Error("old key survived eviction")
+	}
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Client talks to a running rrs-serve. It is safe for concurrent use —
+// cmd/rrs-experiments fans a whole figure sweep through one Client.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval is the result-polling cadence (default 250 ms).
+	PollInterval time.Duration
+}
+
+// NewClient targets a server base URL such as "http://localhost:8080".
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %s unreachable: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service client: healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Submit POSTs spec and returns the accepted job's view.
+func (c *Client) Submit(ctx context.Context, spec Spec) (JobView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobView{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+apiPrefix, bytes.NewReader(body))
+	if err != nil {
+		return JobView{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var v JobView
+	if err := c.do(req, http.StatusCreated, http.StatusOK, &v); err != nil {
+		return JobView{}, err
+	}
+	return v, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+apiPrefix+"/"+id, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	var v JobView
+	if err := c.do(req, http.StatusOK, 0, &v); err != nil {
+		return JobView{}, err
+	}
+	return v, nil
+}
+
+// Cancel DELETEs a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+apiPrefix+"/"+id, nil)
+	if err != nil {
+		return err
+	}
+	var v JobView
+	return c.do(req, http.StatusOK, 0, &v)
+}
+
+// Result polls GET /v1/jobs/{id}/result until the job finishes, ctx is
+// cancelled, or the server reports a terminal failure.
+func (c *Client) Result(ctx context.Context, id string) (sim.Result, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+apiPrefix+"/"+id+"/result", nil)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return sim.Result{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var env ResultEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				return sim.Result{}, fmt.Errorf("service client: decoding result: %w", err)
+			}
+			return env.Result, nil
+		case http.StatusAccepted:
+			select {
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			case <-time.After(interval):
+			}
+		default:
+			return sim.Result{}, apiError(resp.StatusCode, body)
+		}
+	}
+}
+
+// Run submits spec and waits for its result — the drop-in remote
+// equivalent of sim.Run for named-mitigation jobs.
+func (c *Client) Run(ctx context.Context, spec Spec) (sim.Result, error) {
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return c.Result(ctx, v.ID)
+}
+
+// do executes req expecting one of two success codes (okAlt 0 = only
+// ok), decoding the JSON body into out.
+func (c *Client) do(req *http.Request, ok, okAlt int, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != ok && (okAlt == 0 || resp.StatusCode != okAlt) {
+		return apiError(resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func apiError(status int, body []byte) error {
+	var e errorBody
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service client: server returned %d: %s", status, e.Error)
+	}
+	return fmt.Errorf("service client: server returned %d", status)
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// API paths served by Handler.
+//
+//	POST   /v1/jobs          submit a Spec        → 201 JobView (200 on cache hit)
+//	GET    /v1/jobs          list jobs            → 200 {"jobs":[JobView...]}
+//	GET    /v1/jobs/{id}     job status           → 200 JobView
+//	GET    /v1/jobs/{id}/result                   → 200 ResultEnvelope | 202 while active
+//	DELETE /v1/jobs/{id}     cancel active / delete terminal → 200 JobView
+//	GET    /healthz          liveness             → 200 {"status":"ok",...}
+//	GET    /metrics          Prometheus text (or JSON with ?format=json)
+const apiPrefix = "/v1/jobs"
+
+// ResultEnvelope wraps a finished job's numbers for GET .../result.
+// sim.Result serializes without its Mitigation field (tagged json:"-"),
+// so the payload is purely numeric.
+type ResultEnvelope struct {
+	ID       string     `json:"id"`
+	Hash     string     `json:"hash"`
+	CacheHit bool       `json:"cache_hit"`
+	Result   sim.Result `json:"result"`
+}
+
+// errorBody is every non-2xx payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the job API over m.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+apiPrefix, func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET "+apiPrefix, func(w http.ResponseWriter, r *http.Request) {
+		handleList(m, w, r)
+	})
+	mux.HandleFunc("GET "+apiPrefix+"/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleGet(m, w, r)
+	})
+	mux.HandleFunc("GET "+apiPrefix+"/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(m, w, r)
+	})
+	mux.HandleFunc("DELETE "+apiPrefix+"/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleDelete(m, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"workers": m.opts.Workers,
+			"queue":   m.queue.Len(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(m.Metrics(), w, r)
+	})
+	return mux
+}
+
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	j, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := j.Snapshot()
+	status := http.StatusCreated
+	if v.CacheHit {
+		status = http.StatusOK // answered, not created
+	}
+	writeJSON(w, status, v)
+}
+
+func handleList(m *Manager, w http.ResponseWriter, r *http.Request) {
+	stateFilter := State(strings.ToLower(r.URL.Query().Get("state")))
+	views := []JobView{}
+	for _, j := range m.List() {
+		v := j.Snapshot()
+		if stateFilter != "" && v.State != stateFilter {
+			continue
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func handleGet(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	v := j.Snapshot()
+	switch v.State {
+	case StateQueued, StateRunning:
+		// Not ready: tell pollers to come back, carrying progress.
+		writeJSON(w, http.StatusAccepted, v)
+	case StateDone:
+		res, _ := j.Result()
+		writeJSON(w, http.StatusOK, ResultEnvelope{
+			ID: v.ID, Hash: v.Hash, CacheHit: v.CacheHit, Result: res,
+		})
+	case StateCancelled:
+		writeError(w, http.StatusGone,
+			fmt.Errorf("job %s was cancelled: %s", v.ID, v.Error))
+	default: // failed
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("job %s failed: %s", v.ID, v.Error))
+	}
+}
+
+func handleDelete(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	if cancelled, _ := m.Cancel(id); !cancelled {
+		// Already terminal: DELETE retires the record.
+		if err := m.Remove(id); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func handleMetrics(met *Metrics, w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/json") {
+		format = "json"
+	}
+	if format == "json" {
+		writeJSON(w, http.StatusOK, met.JSON())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	met.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

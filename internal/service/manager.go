@@ -1,0 +1,549 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// State is a job's lifecycle stage. Transitions: queued → running →
+// done | failed | cancelled; a queued job may also go straight to
+// cancelled (DELETE before a worker claims it) and a cache hit is born
+// done.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further transition can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("service: no such job")
+
+// Job is one tracked simulation. All mutable fields are guarded by mu;
+// readers use Snapshot.
+type Job struct {
+	mu sync.Mutex
+
+	id   string
+	seq  uint64 // submission order, for stable listings
+	spec Spec   // normalized
+	hash string
+
+	state    State
+	progress float64 // 0..1, driven by the sim progress hook
+	cacheHit bool
+	err      string
+	result   *sim.Result
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc // non-nil while cancellable
+	done   chan struct{}      // closed on reaching a terminal state
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hash returns the job's spec content hash.
+func (j *Job) Hash() string { return j.hash }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the finished result. ok is false unless the job is
+// done.
+func (j *Job) Result() (sim.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return sim.Result{}, false
+	}
+	return *j.result, true
+}
+
+// JobView is the JSON projection of a job.
+type JobView struct {
+	ID        string  `json:"id"`
+	Hash      string  `json:"hash"`
+	State     State   `json:"state"`
+	Progress  float64 `json:"progress"`
+	CacheHit  bool    `json:"cache_hit"`
+	Error     string  `json:"error,omitempty"`
+	Spec      Spec    `json:"spec"`
+	Submitted string  `json:"submitted_at"`
+	Started   string  `json:"started_at,omitempty"`
+	Finished  string  `json:"finished_at,omitempty"`
+	// RunSeconds is wall-clock simulation time for finished jobs.
+	RunSeconds float64 `json:"run_seconds,omitempty"`
+}
+
+// Snapshot returns a consistent copy for serialization.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Hash:      j.hash,
+		State:     j.state,
+		Progress:  j.progress,
+		CacheHit:  j.cacheHit,
+		Error:     j.err,
+		Spec:      j.spec,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			v.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	return v
+}
+
+// Options sizes the manager.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS — each
+	// simulation is single-threaded, so one worker per scheduler slot
+	// saturates the host without oversubscribing it).
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-unstarted jobs
+	// (default 64); past it, Submit fails fast with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache (default
+	// 256; 0 keeps the default, negative disables caching).
+	CacheEntries int
+	// DefaultTimeout bounds each job's run unless its spec says
+	// otherwise (0 = no limit).
+	DefaultTimeout time.Duration
+	// Metrics receives the service metrics (nil = a private registry).
+	Metrics *Metrics
+}
+
+// Manager owns the queue, worker pool, job table and result cache.
+type Manager struct {
+	opts  Options
+	queue *fifo
+	cache *resultCache
+	met   *Metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    uint64
+	closed bool
+
+	busy    int64 // workers mid-run, under mu
+	workers sync.WaitGroup
+
+	// runJob is the simulation entry point; tests substitute a stub to
+	// make scheduling behaviour observable without real simulations.
+	runJob func(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error)
+}
+
+// NewManager builds and starts a manager; callers must Shutdown it.
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	switch {
+	case opts.CacheEntries == 0:
+		opts.CacheEntries = 256
+	case opts.CacheEntries < 0:
+		opts.CacheEntries = 0
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewMetrics()
+	}
+	m := &Manager{
+		opts:   opts,
+		queue:  newFIFO(opts.QueueDepth),
+		cache:  newResultCache(opts.CacheEntries),
+		met:    opts.Metrics,
+		jobs:   make(map[string]*Job),
+		runJob: runSpec,
+	}
+	m.registerMetrics()
+	for i := 0; i < opts.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// runSpec is the production runJob: compile the spec and run the engine.
+func runSpec(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error) {
+	opts, err := spec.Options()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	opts.Context = ctx
+	opts.Progress = progress
+	return sim.Run(opts)
+}
+
+func (m *Manager) registerMetrics() {
+	for name, help := range map[string]string{
+		"rrs_jobs_submitted_total": "Jobs accepted by POST /v1/jobs or Submit.",
+		"rrs_jobs_done_total":      "Jobs that finished with a result (cache hits included).",
+		"rrs_jobs_failed_total":    "Jobs that ended in error (timeouts included).",
+		"rrs_jobs_cancelled_total": "Jobs cancelled before completing.",
+		"rrs_jobs_rejected_total":  "Submissions refused by a full queue.",
+		"rrs_cache_hits_total":     "Submissions answered from the result cache.",
+		"rrs_cache_misses_total":   "Submissions that required a simulation.",
+		"rrs_runs_started_total":   "Simulations handed to a worker.",
+	} {
+		m.met.Counter(name, help)
+	}
+	m.met.Gauge("rrs_queue_depth", "Jobs accepted but not yet claimed by a worker.",
+		func() float64 { return float64(m.queue.Len()) })
+	m.met.Gauge("rrs_workers", "Size of the worker pool.",
+		func() float64 { return float64(m.opts.Workers) })
+	m.met.Gauge("rrs_workers_busy", "Workers currently mid-simulation.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.busy)
+		})
+	m.met.Gauge("rrs_worker_utilization", "Busy workers over pool size (0..1).",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.busy) / float64(m.opts.Workers)
+		})
+	m.met.Gauge("rrs_cache_entries", "Results currently cached.",
+		func() float64 { return float64(m.cache.Len()) })
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		state := s
+		m.met.Gauge("rrs_jobs_"+string(state),
+			fmt.Sprintf("Tracked jobs in state %q.", state),
+			func() float64 { return float64(m.countState(state)) })
+	}
+}
+
+func (m *Manager) countState(s State) int {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == s {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Metrics exposes the registry (for the HTTP layer).
+func (m *Manager) Metrics() *Metrics { return m.met }
+
+// Submit validates, hashes and enqueues spec. A cache hit returns a job
+// already in StateDone carrying the cached result; otherwise the job is
+// queued FIFO. ErrQueueFull and ErrClosed report backpressure and
+// shutdown.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	norm := spec.Normalize()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.seq++
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", m.seq),
+		seq:       m.seq,
+		spec:      norm,
+		hash:      norm.Hash(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+
+	m.met.Inc("rrs_jobs_submitted_total", 1)
+
+	if res, ok := m.cache.Get(j.hash); ok {
+		m.met.Inc("rrs_cache_hits_total", 1)
+		m.met.Inc("rrs_jobs_done_total", 1)
+		j.mu.Lock()
+		j.state = StateDone
+		j.cacheHit = true
+		j.progress = 1
+		j.result = &res
+		j.finished = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+		return j, nil
+	}
+	m.met.Inc("rrs_cache_misses_total", 1)
+
+	if err := m.queue.Push(j); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			m.met.Inc("rrs_jobs_rejected_total", 1)
+		}
+		m.finish(j, StateCancelled, err.Error())
+		m.mu.Lock()
+		delete(m.jobs, j.id)
+		m.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns all tracked jobs in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	return jobs
+}
+
+// Cancel stops a queued or running job. Cancelling a terminal job is a
+// no-op reported via ok=false.
+func (m *Manager) Cancel(id string) (ok bool, err error) {
+	j, found := m.Get(id)
+	if !found {
+		return false, ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		// The worker that eventually pops it observes the state and
+		// skips; mark it terminal now so waiters unblock immediately.
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+		m.met.Inc("rrs_jobs_cancelled_total", 1)
+		return true, nil
+	case j.state == StateRunning && j.cancel != nil:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel() // the worker finalizes state when sim.Run returns
+		return true, nil
+	default:
+		j.mu.Unlock()
+		return false, nil
+	}
+}
+
+// Remove deletes a terminal job's record (and is how clients acknowledge
+// failures). Active jobs must be cancelled first.
+func (m *Manager) Remove(id string) error {
+	j, found := m.Get(id)
+	if !found {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	terminal := j.state.terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return fmt.Errorf("service: job %s is %s; cancel it first", id, j.state)
+	}
+	m.mu.Lock()
+	delete(m.jobs, id)
+	m.mu.Unlock()
+	return nil
+}
+
+// RunSync submits spec and waits for a result, ctx expiry or shutdown —
+// the path CLI sweeps use to share the server's cache and worker pool.
+func (m *Manager) RunSync(ctx context.Context, spec Spec) (sim.Result, error) {
+	j, err := m.Submit(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+		m.Cancel(j.ID())
+		return sim.Result{}, ctx.Err()
+	}
+	v := j.Snapshot()
+	if v.State != StateDone {
+		return sim.Result{}, fmt.Errorf("service: job %s %s: %s", j.ID(), v.State, v.Error)
+	}
+	res, _ := j.Result()
+	return res, nil
+}
+
+// worker pops jobs until the queue closes.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for {
+		j, ok := m.queue.Pop()
+		if !ok {
+			return
+		}
+		m.runOne(j)
+	}
+}
+
+// runOne executes one claimed job through its lifecycle.
+func (m *Manager) runOne(j *Job) {
+	timeout := m.opts.DefaultTimeout
+	if j.spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.busy++
+	m.mu.Unlock()
+	m.met.Inc("rrs_runs_started_total", 1)
+
+	progress := func(done, total int64) {
+		if total <= 0 {
+			return
+		}
+		p := float64(done) / float64(total)
+		j.mu.Lock()
+		if p > j.progress {
+			j.progress = p
+		}
+		j.mu.Unlock()
+	}
+
+	res, err := m.runJob(ctx, j.spec, progress)
+
+	m.mu.Lock()
+	m.busy--
+	m.mu.Unlock()
+
+	switch {
+	case err == nil:
+		// Drop the live hardware model before the result outlives the
+		// run in the cache and job table.
+		res.Mitigation = nil
+		m.cache.Put(j.hash, res)
+		start := j.started
+		m.finish(j, StateDone, "", &res)
+		m.met.Inc("rrs_jobs_done_total", 1)
+		m.met.ObserveLatency(time.Since(start).Seconds())
+	case errors.Is(err, context.Canceled):
+		m.finish(j, StateCancelled, "cancelled by request")
+		m.met.Inc("rrs_jobs_cancelled_total", 1)
+	case errors.Is(err, context.DeadlineExceeded):
+		m.finish(j, StateFailed, fmt.Sprintf("timed out after %s", timeout))
+		m.met.Inc("rrs_jobs_failed_total", 1)
+	default:
+		m.finish(j, StateFailed, err.Error())
+		m.met.Inc("rrs_jobs_failed_total", 1)
+	}
+}
+
+// finish moves j to a terminal state exactly once.
+func (m *Manager) finish(j *Job, state State, errMsg string, result ...*sim.Result) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.cancel = nil
+	j.finished = time.Now()
+	if state == StateDone {
+		j.progress = 1
+		if len(result) > 0 {
+			j.result = result[0]
+		}
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Shutdown stops intake, cancels the backlog, and waits for running
+// jobs to drain (or ctx to expire, in which case they are cancelled).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	for _, j := range m.queue.Close() {
+		m.finish(j, StateCancelled, "server shutting down")
+		m.met.Inc("rrs_jobs_cancelled_total", 1)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		// Force-cancel what is still running, then wait for the pool.
+		for _, j := range m.List() {
+			m.Cancel(j.ID())
+		}
+		<-drained
+		return ctx.Err()
+	}
+}

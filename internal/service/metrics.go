@@ -1,0 +1,223 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the job run-latency
+// histogram; simulation jobs span milliseconds (cache-warm tiny scales)
+// to minutes (full Table 3 sweeps). The terminal +Inf bucket is
+// implicit.
+var latencyBuckets = []float64{
+	0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
+
+// Metrics is the service's in-process registry: monotonic counters and a
+// run-latency histogram owned by the registry, plus gauges sampled from
+// the manager at scrape time. It renders itself as Prometheus text
+// exposition or as a JSON object; both views are built from one snapshot
+// so they never disagree mid-scrape.
+type Metrics struct {
+	mu sync.Mutex
+
+	counters map[string]int64
+
+	// Histogram of job run latency (seconds), cumulative per Prometheus
+	// convention at render time, stored per-bucket here.
+	bucketCounts []int64
+	latencySum   float64
+	latencyCount int64
+
+	// gauges are sampled at scrape time (queue depth, busy workers,
+	// jobs by state) so the registry never holds manager locks.
+	gauges map[string]func() float64
+
+	gaugeHelp   map[string]string
+	counterHelp map[string]string
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:     make(map[string]int64),
+		bucketCounts: make([]int64, len(latencyBuckets)+1),
+		gauges:       make(map[string]func() float64),
+		gaugeHelp:    make(map[string]string),
+		counterHelp:  make(map[string]string),
+	}
+}
+
+// Counter registers help text for (and zero-initializes) a counter.
+func (m *Metrics) Counter(name, help string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counterHelp[name] = help
+	if _, ok := m.counters[name]; !ok {
+		m.counters[name] = 0
+	}
+}
+
+// Inc adds delta to a counter (auto-registering an unnamed one).
+func (m *Metrics) Inc(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[name] += delta
+}
+
+// Gauge registers a sampled gauge; fn runs at scrape time.
+func (m *Metrics) Gauge(name, help string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = fn
+	m.gaugeHelp[name] = help
+}
+
+// ObserveLatency records one job's run duration in seconds.
+func (m *Metrics) ObserveLatency(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	m.bucketCounts[i]++
+	m.latencySum += seconds
+	m.latencyCount++
+}
+
+// snapshot captures a consistent view for rendering.
+type metricsSnapshot struct {
+	counters     map[string]int64
+	gauges       map[string]float64
+	counterHelp  map[string]string
+	gaugeHelp    map[string]string
+	bucketCounts []int64
+	latencySum   float64
+	latencyCount int64
+}
+
+func (m *Metrics) snapshot() metricsSnapshot {
+	m.mu.Lock()
+	s := metricsSnapshot{
+		counters:     make(map[string]int64, len(m.counters)),
+		counterHelp:  make(map[string]string, len(m.counterHelp)),
+		gaugeHelp:    make(map[string]string, len(m.gaugeHelp)),
+		bucketCounts: append([]int64(nil), m.bucketCounts...),
+		latencySum:   m.latencySum,
+		latencyCount: m.latencyCount,
+	}
+	for k, v := range m.counters {
+		s.counters[k] = v
+	}
+	for k, v := range m.counterHelp {
+		s.counterHelp[k] = v
+	}
+	for k, v := range m.gaugeHelp {
+		s.gaugeHelp[k] = v
+	}
+	fns := make(map[string]func() float64, len(m.gauges))
+	for k, fn := range m.gauges {
+		fns[k] = fn
+	}
+	m.mu.Unlock()
+
+	// Sample gauges outside the registry lock: they reach into the
+	// manager, which takes its own locks.
+	s.gauges = make(map[string]float64, len(fns))
+	for k, fn := range fns {
+		s.gauges[k] = fn()
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), the format `GET /metrics` serves by default.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.snapshot()
+	for _, name := range sortedKeys(s.counters) {
+		if help := s.counterHelp[name]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, s.counters[name])
+	}
+	for _, name := range sortedKeys(s.gauges) {
+		if help := s.gaugeHelp[name]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.gauges[name]))
+	}
+
+	const hist = "rrs_job_run_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall-clock latency of simulation runs (cache hits excluded).\n", hist)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", hist)
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += s.bucketCounts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hist, formatFloat(le), cum)
+	}
+	cum += s.bucketCounts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hist, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", hist, formatFloat(s.latencySum))
+	_, err := fmt.Fprintf(w, "%s_count %d\n", hist, s.latencyCount)
+	return err
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// JSONView is the `GET /metrics?format=json` payload.
+type JSONView struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	Latency  LatencyView        `json:"job_run_seconds"`
+}
+
+// LatencyView is the histogram portion of the JSON metrics.
+type LatencyView struct {
+	Buckets []BucketView `json:"buckets"`
+	Sum     float64      `json:"sum"`
+	Count   int64        `json:"count"`
+}
+
+// BucketView is one non-cumulative histogram bucket.
+type BucketView struct {
+	LE    float64 `json:"le"` // +Inf encoded as 0 with Last=true
+	Last  bool    `json:"last,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// JSON returns the snapshot in the JSON shape.
+func (m *Metrics) JSON() JSONView {
+	s := m.snapshot()
+	v := JSONView{
+		Counters: s.counters,
+		Gauges:   s.gauges,
+		Latency: LatencyView{
+			Sum:   s.latencySum,
+			Count: s.latencyCount,
+		},
+	}
+	for i, le := range latencyBuckets {
+		v.Latency.Buckets = append(v.Latency.Buckets,
+			BucketView{LE: le, Count: s.bucketCounts[i]})
+	}
+	v.Latency.Buckets = append(v.Latency.Buckets,
+		BucketView{Last: true, Count: s.bucketCounts[len(latencyBuckets)]})
+	return v
+}

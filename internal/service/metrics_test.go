@@ -1,0 +1,70 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("rrs_test_total", "A test counter.")
+	m.Inc("rrs_test_total", 3)
+	m.Gauge("rrs_test_depth", "A test gauge.", func() float64 { return 7.5 })
+	m.ObserveLatency(0.003) // bucket le=0.005
+	m.ObserveLatency(0.3)   // bucket le=0.5
+	m.ObserveLatency(1000)  // +Inf
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP rrs_test_total A test counter.",
+		"# TYPE rrs_test_total counter",
+		"rrs_test_total 3",
+		"# TYPE rrs_test_depth gauge",
+		"rrs_test_depth 7.5",
+		"# TYPE rrs_job_run_seconds histogram",
+		`rrs_job_run_seconds_bucket{le="0.005"} 1`,
+		`rrs_job_run_seconds_bucket{le="0.5"} 2`,
+		`rrs_job_run_seconds_bucket{le="+Inf"} 3`,
+		"rrs_job_run_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: le="600" carries everything finite.
+	if !strings.Contains(out, `rrs_job_run_seconds_bucket{le="600"} 2`) {
+		t.Errorf("cumulative bucket broken:\n%s", out)
+	}
+}
+
+func TestMetricsJSONView(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("rrs_test_total", 2)
+	m.Gauge("rrs_depth", "", func() float64 { return 4 })
+	m.ObserveLatency(0.02)
+
+	v := m.JSON()
+	if v.Counters["rrs_test_total"] != 2 {
+		t.Errorf("counter = %d, want 2", v.Counters["rrs_test_total"])
+	}
+	if v.Gauges["rrs_depth"] != 4 {
+		t.Errorf("gauge = %v, want 4", v.Gauges["rrs_depth"])
+	}
+	if v.Latency.Count != 1 || v.Latency.Sum != 0.02 {
+		t.Errorf("latency = %+v", v.Latency)
+	}
+	var total int64
+	for _, b := range v.Latency.Buckets {
+		total += b.Count
+	}
+	if total != 1 {
+		t.Errorf("bucket counts sum to %d, want 1", total)
+	}
+	if len(v.Latency.Buckets) != len(latencyBuckets)+1 {
+		t.Errorf("bucket count = %d, want %d", len(v.Latency.Buckets), len(latencyBuckets)+1)
+	}
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Manager.Submit when the job queue is at
+// capacity; HTTP maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned when submitting to a manager that is shutting
+// down.
+var ErrClosed = errors.New("service: manager closed")
+
+// fifo is a bounded FIFO of jobs. Push never blocks (it fails fast when
+// full — backpressure belongs at the API edge, not in a goroutine pile);
+// Pop blocks until an item arrives or the queue closes. Close unblocks
+// every waiter and drains the backlog to the caller so queued jobs can
+// be failed deliberately rather than leaked.
+type fifo struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	cap    int
+	closed bool
+}
+
+func newFIFO(capacity int) *fifo {
+	q := &fifo{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends j, reporting ErrQueueFull at capacity and ErrClosed
+// after Close.
+func (q *fifo) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if len(q.items) >= q.cap {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop removes the oldest job, blocking while the queue is open and
+// empty. ok is false once the queue is closed and drained.
+func (q *fifo) Pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
+	// Slide instead of re-slicing so the backing array does not pin
+	// completed jobs.
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return j, true
+}
+
+// Close marks the queue closed, wakes all poppers and returns the jobs
+// still waiting (in FIFO order) so the manager can cancel them.
+func (q *fifo) Close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	rest := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return rest
+}
+
+// Len reports the backlog depth.
+func (q *fifo) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

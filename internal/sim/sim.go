@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -54,7 +55,22 @@ type Options struct {
 	// the benchmark (for reporting); addresses are used as-is, with no
 	// per-core offsetting.
 	Readers []trace.Reader
+	// Context, when non-nil, makes the run interruptible: the core loop
+	// polls it every checkInterval accesses and Run returns a wrapped
+	// ctx.Err() once it is cancelled (rrs-serve cancellation, Ctrl-C in
+	// the CLIs, per-job timeouts).
+	Context context.Context
+	// Progress, when non-nil, is called every checkInterval accesses —
+	// and once more on completion — with the work done so far and the
+	// run's total, in bus cycles for cycle-bounded runs and in retired
+	// instructions otherwise. It runs on the simulation goroutine and
+	// must be cheap; done never exceeds total.
+	Progress func(done, total int64)
 }
+
+// checkInterval is how many memory accesses pass between cancellation
+// polls and progress callbacks (~tens of microseconds of wall time).
+const checkInterval = 8192
 
 // Result reports a finished run.
 type Result struct {
@@ -79,8 +95,10 @@ type Result struct {
 	Epochs int64
 	// Energy is the DRAM energy breakdown.
 	Energy power.Breakdown
-	// Mitigation exposes the defense for caller-specific queries.
-	Mitigation memctrl.Mitigation
+	// Mitigation exposes the defense for caller-specific queries. It is
+	// excluded from JSON: the rrs-serve result payload carries only the
+	// numeric fields, not the live hardware model.
+	Mitigation memctrl.Mitigation `json:"-"`
 }
 
 // Run executes the simulation to completion.
@@ -147,6 +165,26 @@ func Run(opts Options) (Result, error) {
 	var res Result
 	res.Mitigation = mit
 
+	// Total work for progress reporting: bus cycles when the run is
+	// time-bounded, retired instructions otherwise.
+	var progressTotal int64
+	if opts.Progress != nil {
+		if opts.CycleLimit > 0 {
+			progressTotal = opts.CycleLimit
+		} else {
+			progressTotal = opts.InstructionsPerCore * int64(len(cores))
+		}
+	}
+	report := func(done int64) {
+		if opts.Progress == nil {
+			return
+		}
+		if done > progressTotal {
+			done = progressTotal
+		}
+		opts.Progress(done, progressTotal)
+	}
+
 	for {
 		// Pick the core with the earliest next access.
 		var next *cpu.Core
@@ -165,6 +203,24 @@ func Run(opts Options) (Result, error) {
 		}
 		if next == nil {
 			break
+		}
+		if res.Accesses%checkInterval == 0 && res.Accesses > 0 {
+			if opts.Context != nil {
+				if err := opts.Context.Err(); err != nil {
+					return Result{}, fmt.Errorf("sim: run interrupted: %w", err)
+				}
+			}
+			if opts.Progress != nil {
+				if opts.CycleLimit > 0 {
+					report(nextT)
+				} else {
+					var insts int64
+					for _, c := range cores {
+						insts += c.Instructions()
+					}
+					report(insts)
+				}
+			}
 		}
 		rec, at := next.Issue()
 		res.Accesses++
@@ -221,6 +277,7 @@ func Run(opts Options) (Result, error) {
 		}
 	}
 	res.Energy = power.DefaultDRAMEnergy().Measure(sys, end)
+	report(progressTotal)
 	return res, nil
 }
 

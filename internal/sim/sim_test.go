@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/config"
@@ -253,5 +255,70 @@ func TestReadersOverrideReplaysTrace(t *testing.T) {
 	}
 	if res.IPC <= 0 {
 		t.Fatalf("IPC = %v", res.IPC)
+	}
+}
+
+func TestContextCancelsRun(t *testing.T) {
+	w, _ := trace.ByName("bzip2")
+	cfg := testConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := false
+	_, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          int64(4) * cfg.EpochCycles,
+		Seed:                3,
+		Context:             ctx,
+		// Cancel from inside the run, once it is demonstrably underway.
+		Progress: func(done, total int64) {
+			if !cancelled && done > 0 {
+				cancelled = true
+				cancel()
+			}
+		},
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressMonotonicAndComplete(t *testing.T) {
+	w, _ := trace.ByName("gcc")
+	cfg := testConfig()
+	limit := cfg.EpochCycles
+	var calls int
+	var last int64 = -1
+	res, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          limit,
+		Seed:                3,
+		Progress: func(done, total int64) {
+			calls++
+			if total != limit {
+				t.Fatalf("progress total = %d, want %d", total, limit)
+			}
+			if done < last {
+				t.Fatalf("progress went backwards: %d after %d", done, last)
+			}
+			if done > total {
+				t.Fatalf("progress done %d exceeds total %d", done, total)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress hook never called")
+	}
+	if last != limit {
+		t.Fatalf("final progress = %d, want %d (complete)", last, limit)
+	}
+	if res.IPC <= 0 {
+		t.Fatal("run produced no work")
 	}
 }
