@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet lint race serve experiments examples clean
+.PHONY: all build test test-short bench bench-figures bench-quick vet lint race serve experiments examples clean
 
 all: build lint test
 
@@ -32,8 +32,18 @@ race:
 serve:
 	$(GO) run ./cmd/rrs-serve
 
-# One benchmark per table/figure of the paper.
+# bench runs the pinned performance-trajectory set (cmd/rrs-bench):
+# representative sims plus hot-path microbenchmarks, drift-checked
+# against cmd/rrs-bench/pins.json and written to BENCH_PR2.json.
 bench:
+	$(GO) run ./cmd/rrs-bench -pins cmd/rrs-bench/pins.json -out BENCH_PR2.json
+
+# bench-quick is the CI smoke subset (fails on any stat drift).
+bench-quick:
+	$(GO) run ./cmd/rrs-bench -quick -pins cmd/rrs-bench/pins.json -out bench-quick.json
+
+# One benchmark per table/figure of the paper.
+bench-figures:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate every table and figure (writes to stdout; ~20 min single-core).

@@ -1,0 +1,25 @@
+package cat
+
+import "testing"
+
+// TestLookupAllocFree pins the hot-path contract: Lookup (hit and miss,
+// through the set-index memo) performs no allocations.
+func TestLookupAllocFree(t *testing.T) {
+	tab := New[int64](Spec{Sets: 64, Ways: 20}, 5)
+	for i := uint64(0); i < 1700; i++ {
+		if tab.Install(i, int64(i)) == nil {
+			t.Fatalf("install %d failed", i)
+		}
+	}
+	var sink int64
+	if avg := testing.AllocsPerRun(500, func() {
+		if p := tab.Lookup(7); p != nil {
+			sink += *p
+		}
+		if p := tab.Lookup(900_000); p != nil {
+			sink += *p
+		}
+	}); avg != 0 {
+		t.Fatalf("Lookup allocates %.2f allocs/run, want 0 (sink %d)", avg, sink)
+	}
+}

@@ -47,6 +47,20 @@ type slot[V any] struct {
 	valid bool
 }
 
+// idxCacheBits sizes the per-table set-index memo (2^bits entries,
+// 16 bytes each, 128 KiB). Keys are in-bank row ids, so the memo is
+// indexed by the key's low bits: for banks with up to 2^idxCacheBits
+// rows every key gets its own slot and the memo is collision-free;
+// larger banks alias 2^(bits) apart, which row locality makes rare.
+const idxCacheBits = 13
+
+// setPair memoizes the two candidate set indices of one key. s0 == -1
+// marks an empty entry (valid indices are non-negative).
+type setPair struct {
+	key    uint64
+	s0, s1 int32
+}
+
 // Table is a CAT holding values of type V keyed by 64-bit keys (row ids).
 // The zero value is not usable; construct with New.
 //
@@ -57,6 +71,12 @@ type Table[V any] struct {
 	invalid [2][]int     // per table, per set: count of invalid ways
 	hash    [2]*prince.Hash64
 	size    int
+	// idxCache is a direct-mapped memo of setIndex results. Set indices
+	// are a pure function of the key and the boot-time hash keys, so the
+	// memo never needs invalidation (Clear keeps the hash keys) and is
+	// exactness-preserving; it exists because the two PRINCE evaluations
+	// dominate the lookup cost and row accesses are heavily repetitive.
+	idxCache []setPair
 	// conflicts counts installs that found both candidate sets full
 	// (before cuckoo relocation).
 	conflicts int
@@ -83,6 +103,10 @@ func New[V any](spec Spec, seed uint64) *Table[V] {
 	kg := prince.Seeded(seed)
 	t.hash[0] = prince.NewHash64(kg.Next(), kg.Next())
 	t.hash[1] = prince.NewHash64(kg.Next(), kg.Next())
+	t.idxCache = make([]setPair, 1<<idxCacheBits)
+	for i := range t.idxCache {
+		t.idxCache[i].s0 = -1
+	}
 	return t
 }
 
@@ -103,6 +127,18 @@ func (t *Table[V]) setIndex(ti int, key uint64) int {
 	return int(t.hash[ti].Sum(key) % uint64(t.spec.Sets))
 }
 
+// setsOf returns both candidate set indices through the memo cache.
+func (t *Table[V]) setsOf(key uint64) (int, int) {
+	e := &t.idxCache[key&(1<<idxCacheBits-1)]
+	if e.s0 >= 0 && e.key == key {
+		return int(e.s0), int(e.s1)
+	}
+	s0 := int(t.hash[0].Sum(key) % uint64(t.spec.Sets))
+	s1 := int(t.hash[1].Sum(key) % uint64(t.spec.Sets))
+	*e = setPair{key: key, s0: int32(s0), s1: int32(s1)}
+	return s0, s1
+}
+
 // setSlots returns the slot slice for set s of table ti.
 func (t *Table[V]) setSlots(ti, s int) []slot[V] {
 	w := t.spec.Ways
@@ -113,15 +149,29 @@ func (t *Table[V]) setSlots(ti, s int) []slot[V] {
 // The pointer stays valid until the entry is deleted or relocated; callers
 // must not retain it across Install or Delete calls.
 func (t *Table[V]) Lookup(key uint64) *V {
-	for ti := 0; ti < 2; ti++ {
-		ss := t.setSlots(ti, t.setIndex(ti, key))
-		for i := range ss {
-			if ss[i].valid && ss[i].key == key {
-				return &ss[i].val
-			}
+	_, _, v := t.LookupPos(key)
+	return v
+}
+
+// LookupPos is Lookup returning also the table index and set that hold
+// the entry, so callers maintaining per-set metadata (the tracker's
+// SetMin counters) can update exactly the affected set. val is nil when
+// key is absent; ti and s are then meaningless.
+func (t *Table[V]) LookupPos(key uint64) (ti, s int, val *V) {
+	s0, s1 := t.setsOf(key)
+	ss := t.setSlots(0, s0)
+	for i := range ss {
+		if ss[i].valid && ss[i].key == key {
+			return 0, s0, &ss[i].val
 		}
 	}
-	return nil
+	ss = t.setSlots(1, s1)
+	for i := range ss {
+		if ss[i].valid && ss[i].key == key {
+			return 1, s1, &ss[i].val
+		}
+	}
+	return 0, 0, nil
 }
 
 // Contains reports whether key is present.
@@ -133,20 +183,27 @@ func (t *Table[V]) Contains(key uint64) bool { return t.Lookup(key) != nil }
 // paper shows this takes ~1e30 installs). Installing a key that is already
 // present is a caller bug and panics.
 func (t *Table[V]) Install(key uint64, val V) *V {
+	_, _, vp := t.InstallPos(key, val)
+	return vp
+}
+
+// InstallPos is Install returning also the table index and set the entry
+// landed in (meaningless when val is nil, i.e. on a CAT conflict).
+func (t *Table[V]) InstallPos(key uint64, val V) (ti, s int, vp *V) {
 	if t.Lookup(key) != nil {
 		panic(fmt.Sprintf("cat: duplicate install of key %#x", key))
 	}
-	s0, s1 := t.setIndex(0, key), t.setIndex(1, key)
+	s0, s1 := t.setsOf(key)
 	inv0, inv1 := t.invalid[0][s0], t.invalid[1][s1]
 	// Power-of-two-choices: prefer the set with more invalid ways.
-	ti, s := 0, s0
+	ti, s = 0, s0
 	if inv1 > inv0 {
 		ti, s = 1, s1
 	}
 	if t.invalid[ti][s] == 0 {
 		t.conflicts++
 		if !t.relocate(s0, s1) {
-			return nil
+			return 0, 0, nil
 		}
 		t.relocations++
 		// After relocation at least one candidate set has a free way.
@@ -161,7 +218,7 @@ func (t *Table[V]) Install(key uint64, val V) *V {
 			ss[i] = slot[V]{key: key, val: val, valid: true}
 			t.invalid[ti][s]--
 			t.size++
-			return &ss[i].val
+			return ti, s, &ss[i].val
 		}
 	}
 	panic("cat: invalid-way accounting corrupted")
@@ -199,8 +256,15 @@ func (t *Table[V]) relocate(s0, s1 int) bool {
 
 // Delete removes key and reports whether it was present.
 func (t *Table[V]) Delete(key uint64) bool {
-	for ti := 0; ti < 2; ti++ {
-		s := t.setIndex(ti, key)
+	_, _, ok := t.DeletePos(key)
+	return ok
+}
+
+// DeletePos is Delete returning also the table index and set the entry
+// was removed from (meaningless when ok is false).
+func (t *Table[V]) DeletePos(key uint64) (ti, s int, ok bool) {
+	s0, s1 := t.setsOf(key)
+	for ti, s := range [2]int{s0, s1} {
 		ss := t.setSlots(ti, s)
 		for i := range ss {
 			if ss[i].valid && ss[i].key == key {
@@ -208,11 +272,11 @@ func (t *Table[V]) Delete(key uint64) bool {
 				ss[i] = zero
 				t.invalid[ti][s]++
 				t.size--
-				return true
+				return ti, s, true
 			}
 		}
 	}
-	return false
+	return 0, 0, false
 }
 
 // ForEach calls fn for every valid entry until fn returns false. The value
@@ -288,7 +352,7 @@ func (t *Table[V]) Clear() {
 // that key hashes to. The scalable Misra-Gries tracker uses this to
 // maintain its per-set minimum counters.
 func (t *Table[V]) SetsOf(key uint64) (s0, s1 int) {
-	return t.setIndex(0, key), t.setIndex(1, key)
+	return t.setsOf(key)
 }
 
 // ForEachInSet calls fn for every valid entry in set s of table ti until

@@ -179,6 +179,9 @@ type RRS struct {
 	stats  Stats
 	// ritPenalty is the per-access RIT lookup latency in bus cycles.
 	ritPenalty int64
+	// cycleBuf is scratch for the reswap 4-row cycle, reused so the hot
+	// path performs no allocations (CycleRows does not retain the slice).
+	cycleBuf [4]int
 }
 
 var _ memctrl.Mitigation = (*RRS)(nil)
@@ -284,15 +287,48 @@ func (r *RRS) OnActivate(id dram.BankID, row, physRow int, now int64) memctrl.Ac
 		trigger = r.probabilisticTrigger(u)
 	}
 	if !trigger {
-		return memctrl.ActResult{}
+		return memctrl.ActResult{Headroom: r.headroom(u, uint64(row))}
 	}
 	ops := r.swap(u, id, uint64(row), now)
 	if ops == 0 {
-		return memctrl.ActResult{}
+		return memctrl.ActResult{Headroom: r.headroom(u, uint64(row))}
 	}
 	block := ops * r.params.SwapOpCycles
 	r.stats.BlockCycles += block
-	return memctrl.ActResult{ChannelBlock: block}
+	return memctrl.ActResult{ChannelBlock: block, Headroom: r.headroom(u, uint64(row))}
+}
+
+// headroom returns how many further consecutive activations of row are
+// guaranteed inert: a tracked row with estimated count c cannot cross
+// the next multiple of T_RRS for another T_RRS - 1 - (c mod T_RRS)
+// activations, and non-triggering activations have no other effect. The
+// probabilistic variant draws per activation, so it grants none.
+func (r *RRS) headroom(u *bankUnit, row uint64) int64 {
+	if u.hrt == nil {
+		return 0
+	}
+	c, ok := u.hrt.Count(row)
+	if !ok {
+		return 0
+	}
+	return r.params.SwapThreshold - 1 - c%r.params.SwapThreshold
+}
+
+// OnActivateN implements memctrl.Batcher: deliver a deferred burst of n
+// same-row activations as one bulk tracker update. The controller only
+// defers activations inside granted headroom, so none of them can
+// trigger a swap.
+func (r *RRS) OnActivateN(id dram.BankID, row, _ int, _ int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	u := r.unit(id)
+	if u.hrt == nil {
+		return
+	}
+	if fired := u.hrt.ObserveN(uint64(row), n); fired != 0 {
+		panic("core: deferred activation burst crossed the swap threshold")
+	}
 }
 
 // swap relocates logical row and returns the number of row-swap operations
@@ -374,7 +410,8 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 		return ops
 	}
 
-	r.sys.CycleRows(id, []int{int(partner), int(destA), int(row), int(destB)}, now)
+	r.cycleBuf = [4]int{int(partner), int(destA), int(row), int(destB)}
+	r.sys.CycleRows(id, r.cycleBuf[:], now)
 	ops += 2
 	r.stats.Swaps++
 	r.stats.Reswaps++

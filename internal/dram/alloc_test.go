@@ -1,0 +1,27 @@
+package dram
+
+import "testing"
+
+// TestHotPathAllocFree pins the flat-storage contract: per-access DRAM
+// operations (activate, row-content read/write of dense rows) perform no
+// allocations in steady state. The dense content array and the per-epoch
+// activation ledger are materialized by the warm-up pass; afterwards the
+// access path must never touch the heap.
+func TestHotPathAllocFree(t *testing.T) {
+	s := New(testConfig())
+	id := BankID{}
+	for r := 0; r < 1<<10; r++ {
+		s.SetRowContent(id, r, uint64(r))
+		s.Activate(id, r, int64(r))
+	}
+	var sink uint64
+	if avg := testing.AllocsPerRun(200, func() {
+		for r := 0; r < 64; r++ {
+			s.Activate(id, r, 2000)
+			sink += s.RowContent(id, r)
+			s.SetRowContent(id, r, sink)
+		}
+	}); avg != 0 {
+		t.Fatalf("DRAM access path allocates %.2f allocs/run, want 0", avg)
+	}
+}

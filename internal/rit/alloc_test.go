@@ -1,0 +1,27 @@
+package rit
+
+import (
+	"testing"
+
+	"repro/internal/cat"
+)
+
+// TestRemapAllocFree pins the hot-path contract: Remap — on the bitset
+// fast path for unswapped rows, and through the table for swapped ones —
+// performs no allocations once the table is populated.
+func TestRemapAllocFree(t *testing.T) {
+	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	for i := 0; i < 3400; i++ {
+		if _, _, _, ok := r.Install(uint64(2*i), uint64(100000+2*i)); !ok {
+			t.Fatalf("install %d failed", i)
+		}
+	}
+	var sink uint64
+	if avg := testing.AllocsPerRun(500, func() {
+		sink += r.Remap(1)     // unswapped: bit-probe fast path
+		sink += r.Remap(0)     // swapped: table hit
+		sink += r.Remap(50001) // unswapped, beyond installed range
+	}); avg != 0 {
+		t.Fatalf("Remap allocates %.2f allocs/run, want 0 (sink %d)", avg, sink)
+	}
+}

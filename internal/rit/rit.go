@@ -32,7 +32,20 @@ type RIT struct {
 	capacity int // in tuples (each tuple occupies two entries)
 	tuples   int
 	rng      *prince.CTR
+
+	// present is an exact membership bitset over small row ids: bit row
+	// is set iff row has an entry in tab. Almost every access misses the
+	// RIT (a few thousand tuples against millions of rows), so the remap
+	// fast path answers "not swapped" from one bit probe instead of two
+	// keyed-hash set scans. Rows >= maxBitsetRows are only counted in
+	// bigRows and always take the table lookup.
+	present []uint64
+	bigRows int
 }
+
+// maxBitsetRows bounds the presence bitset at 512 KiB so adversarial
+// 64-bit row ids (fuzzers, tests) cannot balloon it.
+const maxBitsetRows = 1 << 22
 
 // New creates a RIT with the given CAT geometry and tuple capacity. The
 // paper's configuration stores 3400 tuples (6800 entries) in 2 tables x
@@ -51,9 +64,47 @@ func New(spec cat.Spec, capacityTuples int, seed uint64) *RIT {
 	}
 }
 
+// mightContain is the bit-probe fast path: false means row is certainly
+// absent; true means the table must be consulted (and, for rows under
+// the bitset bound, is in fact a guaranteed hit).
+func (r *RIT) mightContain(row uint64) bool {
+	if row < maxBitsetRows {
+		w := row >> 6
+		return w < uint64(len(r.present)) && r.present[w]&(1<<(row&63)) != 0
+	}
+	return r.bigRows > 0
+}
+
+func (r *RIT) addPresent(row uint64) {
+	if row >= maxBitsetRows {
+		r.bigRows++
+		return
+	}
+	w := row >> 6
+	if w >= uint64(len(r.present)) {
+		grown := make([]uint64, 2*(w+1))
+		copy(grown, r.present)
+		r.present = grown
+	}
+	r.present[w] |= 1 << (row & 63)
+}
+
+func (r *RIT) removePresent(row uint64) {
+	if row >= maxBitsetRows {
+		r.bigRows--
+		return
+	}
+	if w := row >> 6; w < uint64(len(r.present)) {
+		r.present[w] &^= 1 << (row & 63)
+	}
+}
+
 // Remap returns the physical row currently holding row's data: its swap
 // partner if swapped, otherwise row itself.
 func (r *RIT) Remap(row uint64) uint64 {
+	if !r.mightContain(row) {
+		return row
+	}
 	if e := r.tab.Lookup(row); e != nil {
 		return e.partner
 	}
@@ -62,6 +113,9 @@ func (r *RIT) Remap(row uint64) uint64 {
 
 // Lookup returns row's swap partner and whether row is swapped.
 func (r *RIT) Lookup(row uint64) (partner uint64, ok bool) {
+	if !r.mightContain(row) {
+		return 0, false
+	}
 	if e := r.tab.Lookup(row); e != nil {
 		return e.partner, true
 	}
@@ -70,7 +124,9 @@ func (r *RIT) Lookup(row uint64) (partner uint64, ok bool) {
 
 // Contains reports whether row is part of any tuple. Rows in the RIT are
 // excluded from being random swap destinations.
-func (r *RIT) Contains(row uint64) bool { return r.tab.Contains(row) }
+func (r *RIT) Contains(row uint64) bool {
+	return r.mightContain(row) && r.tab.Contains(row)
+}
 
 // Tuples returns the number of installed tuples.
 func (r *RIT) Tuples() int { return r.tuples }
@@ -102,10 +158,13 @@ func (r *RIT) Install(x, y uint64) (evictedX, evictedY uint64, evicted, ok bool)
 		// install; the caller skips the swap.
 		return evictedX, evictedY, evicted, false
 	}
+	r.addPresent(x)
 	if r.tab.Install(y, entry{partner: x, locked: true}) == nil {
 		r.tab.Delete(x)
+		r.removePresent(x)
 		return evictedX, evictedY, evicted, false
 	}
+	r.addPresent(y)
 	r.tuples++
 	return evictedX, evictedY, evicted, true
 }
@@ -120,6 +179,8 @@ func (r *RIT) Remove(row uint64) (partner uint64, ok bool) {
 	partner = e.partner
 	r.tab.Delete(row)
 	r.tab.Delete(partner)
+	r.removePresent(row)
+	r.removePresent(partner)
 	r.tuples--
 	return partner, true
 }
@@ -137,6 +198,8 @@ func (r *RIT) EvictRandomUnlocked() (x, y uint64, ok bool) {
 	x, y = key, e.partner
 	r.tab.Delete(x)
 	r.tab.Delete(y)
+	r.removePresent(x)
+	r.removePresent(y)
 	r.tuples--
 	return x, y, true
 }

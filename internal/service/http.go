@@ -149,9 +149,18 @@ func handleDelete(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, ErrNotFound)
 		return
 	}
-	if cancelled, _ := m.Cancel(id); !cancelled {
+	if cancelled, err := m.Cancel(id); !cancelled {
+		if errors.Is(err, ErrNotFound) {
+			// The job vanished between Get and Cancel (concurrent DELETE).
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
 		// Already terminal: DELETE retires the record.
 		if err := m.Remove(id); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				writeError(w, http.StatusNotFound, ErrNotFound)
+				return
+			}
 			writeError(w, http.StatusConflict, err)
 			return
 		}

@@ -379,10 +379,10 @@ func (m *Manager) Remove(id string) error {
 		return ErrNotFound
 	}
 	j.mu.Lock()
-	terminal := j.state.terminal()
+	state := j.state
 	j.mu.Unlock()
-	if !terminal {
-		return fmt.Errorf("service: job %s is %s; cancel it first", id, j.state)
+	if !state.terminal() {
+		return fmt.Errorf("service: job %s is %s; cancel it first", id, state)
 	}
 	m.mu.Lock()
 	delete(m.jobs, id)
@@ -458,6 +458,11 @@ func (m *Manager) runOne(j *Job) {
 			return
 		}
 		p := float64(done) / float64(total)
+		if p > 1 {
+			// Defensive: sim.Run clamps done <= total, but a job must never
+			// report more than 100% even if the engine contract regresses.
+			p = 1
+		}
 		j.mu.Lock()
 		if p > j.progress {
 			j.progress = p

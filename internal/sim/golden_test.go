@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden simulation stats")
+
+// goldenCase pins one (workload, mitigation, seed) point of the fixed
+// seed matrix.
+type goldenCase struct {
+	Name       string          `json:"name"`
+	Workload   string          `json:"workload"`
+	Mitigation string          `json:"mitigation"`
+	Seed       uint64          `json:"seed"`
+	Result     json.RawMessage `json:"result"`
+}
+
+func goldenMitigation(t *testing.T, name string) func(*dram.System) memctrl.Mitigation {
+	t.Helper()
+	switch name {
+	case "none":
+		return nil
+	case "rrs":
+		return rrsFactory
+	case "blockhammer":
+		return func(sys *dram.System) memctrl.Mitigation {
+			p := mitigation.DefaultBlockHammerParams()
+			p.BlacklistThreshold = 512 / testScale
+			return mitigation.NewBlockHammer(sys, p)
+		}
+	default:
+		t.Fatalf("unknown golden mitigation %q", name)
+		return nil
+	}
+}
+
+func runGoldenCase(t *testing.T, c goldenCase) Result {
+	t.Helper()
+	w, ok := trace.ByName(c.Workload)
+	if !ok {
+		t.Fatalf("unknown workload %s", c.Workload)
+	}
+	cfg := testConfig()
+	res, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          cfg.EpochCycles,
+		Seed:                c.Seed,
+		Mitigation:          goldenMitigation(t, c.Mitigation),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Mitigation = nil
+	return res
+}
+
+// TestGoldenStatsBitIdentical asserts the engine reproduces the exact
+// Result statistics recorded in testdata/golden_stats.json for a fixed
+// seed matrix — every numeric field, bit for bit. This is the
+// determinism guarantee the service result cache relies on (Spec.Hash →
+// Result), and the contract the hot-path data-layout refactor must
+// preserve: flat structures may change how state is stored, never what
+// the simulation computes. Regenerate with
+//
+//	go test ./internal/sim -run TestGoldenStats -update
+//
+// only when an intentional behavioural change is being made, and say so
+// in the commit.
+func TestGoldenStatsBitIdentical(t *testing.T) {
+	matrix := []goldenCase{
+		{Name: "none-hmmer-s3", Workload: "hmmer", Mitigation: "none", Seed: 3},
+		{Name: "none-mcf-s190", Workload: "mcf", Mitigation: "none", Seed: 190},
+		{Name: "rrs-hmmer-s3", Workload: "hmmer", Mitigation: "rrs", Seed: 3},
+		{Name: "rrs-mcf-s190", Workload: "mcf", Mitigation: "rrs", Seed: 190},
+		{Name: "blockhammer-hmmer-s3", Workload: "hmmer", Mitigation: "blockhammer", Seed: 3},
+		{Name: "blockhammer-mcf-s190", Workload: "mcf", Mitigation: "blockhammer", Seed: 190},
+	}
+	path := filepath.Join("testdata", "golden_stats.json")
+
+	if *updateGolden {
+		for i := range matrix {
+			res := runGoldenCase(t, matrix[i])
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matrix[i].Result = raw
+		}
+		out, err := json.MarshalIndent(matrix, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", path, len(matrix))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading goldens (run with -update to create them): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(matrix) {
+		t.Fatalf("golden file has %d cases, matrix has %d — regenerate with -update",
+			len(want), len(matrix))
+	}
+	for i, c := range matrix {
+		c := c
+		c.Result = want[i].Result
+		if want[i].Name != c.Name || want[i].Seed != c.Seed ||
+			want[i].Workload != c.Workload || want[i].Mitigation != c.Mitigation {
+			t.Fatalf("golden case %d is %+v, matrix expects %s — regenerate with -update",
+				i, want[i], c.Name)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			got := runGoldenCase(t, c)
+			var exp Result
+			if err := json.Unmarshal(c.Result, &exp); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, exp) {
+				gotJSON, _ := json.MarshalIndent(got, "", "  ")
+				t.Errorf("stats diverge from golden\ngot:  %s\nwant: %s",
+					gotJSON, c.Result)
+			}
+		})
+	}
+}

@@ -50,10 +50,13 @@ type Options struct {
 	// of the instruction budget.
 	CycleLimit int64
 	// Readers, when non-nil, feeds each core from the given trace reader
-	// (one per core, e.g. rrs-tracegen files via trace.NewFileReader)
-	// instead of synthesizing from Workloads. Workloads must still name
-	// the benchmark (for reporting); addresses are used as-is, with no
-	// per-core offsetting.
+	// (exactly one per core, e.g. rrs-tracegen files via
+	// trace.NewFileReader) instead of synthesizing from Workloads.
+	// Workloads must still name the benchmark (for reporting); addresses
+	// are used as-is, with no per-core offsetting. Run rejects a list
+	// shorter than the core count: a shared Reader is stateful, and two
+	// cores draining it would each see an arbitrary interleaved subset of
+	// the trace.
 	Readers []trace.Reader
 	// Context, when non-nil, makes the run interruptible: the core loop
 	// polls it every checkInterval accesses and Run returns a wrapped
@@ -110,6 +113,10 @@ func Run(opts Options) (Result, error) {
 	if len(opts.Workloads) == 0 {
 		return Result{}, fmt.Errorf("sim: no workloads")
 	}
+	if opts.Readers != nil && len(opts.Readers) < cfg.Cores {
+		return Result{}, fmt.Errorf("sim: %d readers for %d cores; Readers must supply one per core",
+			len(opts.Readers), cfg.Cores)
+	}
 	if opts.InstructionsPerCore <= 0 {
 		opts.InstructionsPerCore = 1_000_000
 	}
@@ -145,7 +152,7 @@ func Run(opts Options) (Result, error) {
 	for i := range cores {
 		var rd trace.Reader
 		if opts.Readers != nil {
-			rd = opts.Readers[i%len(opts.Readers)]
+			rd = opts.Readers[i]
 		} else {
 			w := opts.Workloads[i%len(opts.Workloads)]
 			w.HotRows = splitHotRows(w.HotRows, cfg.Cores, i)
@@ -153,7 +160,7 @@ func Run(opts Options) (Result, error) {
 				LineBytes: cfg.LineBytes,
 				RowBytes:  cfg.RowBytes,
 				HotShare:  opts.HotShare,
-				Seed:      opts.Seed + uint64(i)*0x9e3779b9,
+				Seed:      trace.PerCoreSeed(opts.Seed, i),
 			})
 			offset := uint64(i) * (totalLines / uint64(cfg.Cores))
 			rd = &offsetReader{r: gen, offset: offset, mod: totalLines}
@@ -185,25 +192,30 @@ func Run(opts Options) (Result, error) {
 		opts.Progress(done, progressTotal)
 	}
 
+	// Cache per-core next-issue times: a core's value changes only when
+	// that core issues or completes, so each iteration re-queries just
+	// the core that issued instead of every core.
+	nextTimes := make([]int64, len(cores))
+	havePending := make([]bool, len(cores))
+	for i, c := range cores {
+		nextTimes[i], havePending[i] = c.NextIssueTime()
+	}
 	for {
 		// Pick the core with the earliest next access.
-		var next *cpu.Core
+		nextIdx := -1
 		var nextT int64
-		for _, c := range cores {
-			if c.Done() {
+		for i := range cores {
+			if !havePending[i] {
 				continue
 			}
-			t, ok := c.NextIssueTime()
-			if !ok {
-				continue
-			}
-			if next == nil || t < nextT {
-				next, nextT = c, t
+			if nextIdx < 0 || nextTimes[i] < nextT {
+				nextIdx, nextT = i, nextTimes[i]
 			}
 		}
-		if next == nil {
+		if nextIdx < 0 {
 			break
 		}
+		next := cores[nextIdx]
 		if res.Accesses%checkInterval == 0 && res.Accesses > 0 {
 			if opts.Context != nil {
 				if err := opts.Context.Err(); err != nil {
@@ -230,6 +242,7 @@ func Run(opts Options) (Result, error) {
 			// hop); stores are posted.
 			next.Complete(next.Pos(), done+llcHitBusCycles)
 		}
+		nextTimes[nextIdx], havePending[nextIdx] = next.NextIssueTime()
 	}
 
 	// Close the run: find the global end time and flush epochs.

@@ -258,6 +258,93 @@ func TestReadersOverrideReplaysTrace(t *testing.T) {
 	}
 }
 
+func TestProgressInstructionBudgetNeverExceedsTotal(t *testing.T) {
+	// Regression test for the Progress contract in instruction-bounded
+	// runs: a core's retired-instruction count overshoots its budget by up
+	// to one trace gap (the budget check runs after pos jumps past it), and
+	// budgets essentially never divide checkInterval evenly — the reported
+	// done value must still be clamped to total on every callback,
+	// including the completion callback.
+	w, _ := trace.ByName("mcf") // high MPKI: many accesses per instruction
+	cfg := testConfig()
+	const budget = 100_001 // deliberately not a multiple of checkInterval
+	total := int64(budget) * int64(cfg.Cores)
+	var calls int
+	var last int64 = -1
+	res, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: budget,
+		Seed:                7,
+		Progress: func(done, tot int64) {
+			calls++
+			if tot != total {
+				t.Fatalf("progress total = %d, want %d", tot, total)
+			}
+			if done > tot {
+				t.Fatalf("progress done %d exceeds total %d", done, tot)
+			}
+			if done < last {
+				t.Fatalf("progress went backwards: %d after %d", done, last)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress hook never called")
+	}
+	if last != total {
+		t.Fatalf("final progress = %d, want %d (complete)", last, total)
+	}
+	// The overshoot that motivates the clamp must actually occur.
+	if res.Instructions <= total {
+		t.Fatalf("instructions = %d, want > %d (gap overshoot)", res.Instructions, total)
+	}
+}
+
+func TestReadersShorterThanCoresRejected(t *testing.T) {
+	cfg := testConfig()
+	w, _ := trace.ByName("gcc")
+	_, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		Readers:             []trace.Reader{&fixedReader{}}, // 1 reader, 8 cores
+		InstructionsPerCore: 1000,
+	})
+	if err == nil {
+		t.Fatal("expected error for fewer readers than cores")
+	}
+}
+
+func TestPerCoreStreamsDistinct(t *testing.T) {
+	// Rate mode replicates one workload across cores; the per-core streams
+	// must not be identical (correlated cores would hammer the same rows in
+	// lockstep). Compare the first lines each core generates, before the
+	// address-space offset is applied.
+	w, _ := trace.ByName("bzip2")
+	cfg := testConfig()
+	seen := make(map[string]int)
+	for i := 0; i < cfg.Cores; i++ {
+		gen := trace.NewGenerator(w, trace.GeneratorParams{
+			LineBytes: cfg.LineBytes,
+			RowBytes:  cfg.RowBytes,
+			Seed:      trace.PerCoreSeed(3, i),
+		})
+		var sig []byte
+		for k := 0; k < 64; k++ {
+			r, _ := gen.Next()
+			sig = append(sig, byte(r.Line), byte(r.Line>>8), byte(r.Line>>16), byte(r.Gap))
+		}
+		if prev, dup := seen[string(sig)]; dup {
+			t.Fatalf("cores %d and %d generate identical streams", prev, i)
+		}
+		seen[string(sig)] = i
+	}
+}
+
 func TestContextCancelsRun(t *testing.T) {
 	w, _ := trace.ByName("bzip2")
 	cfg := testConfig()

@@ -252,6 +252,28 @@ func NewGenerator(w Workload, p GeneratorParams) *Generator {
 	return g
 }
 
+// PerCoreSeed derives the generator seed for one core of a rate-mode run
+// from the run seed. Distinct cores must draw from distinct random streams:
+// replicating one workload across cores with identical seeds would simulate
+// perfectly correlated cores, whose accesses march through the same rows in
+// lockstep and overstate both row-buffer locality and hot-row pressure.
+//
+// The derivation feeds a distinct input per (base, core) pair through the
+// splitmix64 output permutation: input = base + (core+1)*gamma with the
+// odd constant gamma = 0x9e3779b97f4a7c15. The +1 keeps core 0's stream
+// distinct from a bare splitmix chain seeded with base, and since the
+// finalizer is a bijection, all cores of a run are guaranteed distinct
+// seeds. (The previous scheme offset the raw generator state by the 32-bit
+// constant 0x9e3779b9 per core, which made adjacent cores' streams phase
+// offsets of a single splitmix orbit and relied entirely on the output
+// finalizer for decorrelation.)
+func PerCoreSeed(base uint64, core int) uint64 {
+	x := base + (uint64(core)+1)*0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

@@ -1,0 +1,33 @@
+package tracker
+
+import (
+	"testing"
+
+	"repro/internal/prince"
+)
+
+// TestObserveAllocFree pins the hot-path contract for both tracker
+// implementations: Observe — hits, spill advances and evictions alike —
+// performs no allocations in steady state (the CAM's candidate queue and
+// the CAT's tables are preallocated at construction).
+func TestObserveAllocFree(t *testing.T) {
+	for name, tr := range both(64, 100) {
+		t.Run(name, func(t *testing.T) {
+			rng := prince.Seeded(9)
+			rows := make([]uint64, 1024)
+			for i := range rows {
+				rows[i] = uint64(rng.Intn(4096))
+			}
+			for _, r := range rows {
+				tr.Observe(r)
+			}
+			i := 0
+			if avg := testing.AllocsPerRun(2000, func() {
+				tr.Observe(rows[i%len(rows)])
+				i++
+			}); avg != 0 {
+				t.Fatalf("Observe allocates %.2f allocs/run, want 0", avg)
+			}
+		})
+	}
+}

@@ -11,6 +11,16 @@ import (
 // counter tracking the minimum access count in that set. The spill counter
 // is compared against the SetMin counters (128 of them for the default
 // 2x64-set geometry) instead of a fully associative counter search.
+//
+// SetMin counters are maintained incrementally: a counter bump rescans a
+// set only when the bumped entry held that set's minimum, and installs and
+// deletes adjust only the one set they touch. A cached global minimum with
+// a dirty flag replaces the per-miss scan of all SetMin counters. Both are
+// exactness-preserving, so tracker decisions are bit-identical to the
+// rescan-everything formulation. The one event the single-set bookkeeping
+// cannot see — a cuckoo relocation inside the CAT moving some third entry
+// between sets — is detected via the table's relocation counter and
+// answered with a full SetMin rebuild.
 type CAT struct {
 	threshold int64
 	capacity  int
@@ -20,6 +30,60 @@ type CAT struct {
 	// setMin[ti][s] is the minimum count in set s of table ti, or
 	// math.MaxInt64 when the set is empty.
 	setMin [2][]int64
+
+	// gmin caches the minimum over all SetMin counters; it is stale only
+	// when gminDirty is set (a set holding the global minimum increased).
+	gmin      int64
+	gminDirty bool
+
+	// relocs is the last observed tab.Relocations(), to detect cuckoo
+	// moves during installs.
+	relocs int
+
+	// present is an exact membership bitset over small row ids (bit row
+	// set iff row is tracked). Most activations are of untracked rows —
+	// at most `capacity` of a bank's rows are tracked — so the miss path
+	// answers from one bit probe instead of two keyed-hash set scans.
+	// Rows >= maxBitsetRows are counted in bigRows and always take the
+	// table lookup.
+	present []uint64
+	bigRows int
+}
+
+// maxBitsetRows bounds the presence bitset at 512 KiB so adversarial
+// 64-bit row ids (fuzzers, tests) cannot balloon it.
+const maxBitsetRows = 1 << 22
+
+func (t *CAT) mightContain(row uint64) bool {
+	if row < maxBitsetRows {
+		w := row >> 6
+		return w < uint64(len(t.present)) && t.present[w]&(1<<(row&63)) != 0
+	}
+	return t.bigRows > 0
+}
+
+func (t *CAT) addPresent(row uint64) {
+	if row >= maxBitsetRows {
+		t.bigRows++
+		return
+	}
+	w := row >> 6
+	if w >= uint64(len(t.present)) {
+		grown := make([]uint64, 2*(w+1))
+		copy(grown, t.present)
+		t.present = grown
+	}
+	t.present[w] |= 1 << (row & 63)
+}
+
+func (t *CAT) removePresent(row uint64) {
+	if row >= maxBitsetRows {
+		t.bigRows--
+		return
+	}
+	if w := row >> 6; w < uint64(len(t.present)) {
+		t.present[w] &^= 1 << (row & 63)
+	}
 }
 
 var _ Tracker = (*CAT)(nil)
@@ -39,6 +103,7 @@ func NewCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) *CAT {
 		threshold: threshold,
 		capacity:  capacity,
 		tab:       cat.New[int64](spec, seed),
+		gmin:      math.MaxInt64,
 	}
 	for ti := 0; ti < 2; ti++ {
 		t.setMin[ti] = make([]int64, spec.Sets)
@@ -49,7 +114,8 @@ func NewCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) *CAT {
 	return t
 }
 
-// recomputeSetMin rescans one set's counters.
+// recomputeSetMin rescans one set's counters and folds the change into
+// the cached global minimum.
 func (t *CAT) recomputeSetMin(ti, s int) {
 	min := int64(math.MaxInt64)
 	t.tab.ForEachInSet(ti, s, func(_ uint64, v *int64) bool {
@@ -58,37 +124,75 @@ func (t *CAT) recomputeSetMin(ti, s int) {
 		}
 		return true
 	})
+	old := t.setMin[ti][s]
 	t.setMin[ti][s] = min
+	if t.gminDirty {
+		return
+	}
+	switch {
+	case min < t.gmin:
+		t.gmin = min
+	case min > old && old == t.gmin:
+		// The set that (possibly alone) held the global minimum moved up;
+		// recompute lazily on the next globalMin call.
+		t.gminDirty = true
+	}
 }
 
-// touch updates the SetMin counters of both candidate sets of row.
-func (t *CAT) touch(row uint64) {
-	s0, s1 := t.tab.SetsOf(row)
-	t.recomputeSetMin(0, s0)
-	t.recomputeSetMin(1, s1)
-}
-
-// globalMin scans the SetMin counters (the hardware does this in the
-// shadow of the memory access; see the paper).
-func (t *CAT) globalMin() int64 {
-	min := int64(math.MaxInt64)
+// recomputeAllSetMin rebuilds every SetMin counter and the global
+// minimum. Only needed after a cuckoo relocation inside the CAT, which is
+// astronomically rare with the paper's 6 extra ways.
+func (t *CAT) recomputeAllSetMin() {
+	t.gmin = math.MaxInt64
 	for ti := 0; ti < 2; ti++ {
-		for _, m := range t.setMin[ti] {
-			if m < min {
-				min = m
+		for s := range t.setMin[ti] {
+			min := int64(math.MaxInt64)
+			t.tab.ForEachInSet(ti, s, func(_ uint64, v *int64) bool {
+				if *v < min {
+					min = *v
+				}
+				return true
+			})
+			t.setMin[ti][s] = min
+			if min < t.gmin {
+				t.gmin = min
 			}
 		}
 	}
-	return min
+	t.gminDirty = false
+}
+
+// globalMin returns the minimum over the SetMin counters (the hardware
+// scans them in the shadow of the memory access; see the paper).
+func (t *CAT) globalMin() int64 {
+	if t.gminDirty {
+		min := int64(math.MaxInt64)
+		for ti := 0; ti < 2; ti++ {
+			for _, m := range t.setMin[ti] {
+				if m < min {
+					min = m
+				}
+			}
+		}
+		t.gmin = min
+		t.gminDirty = false
+	}
+	return t.gmin
 }
 
 // Observe implements Tracker.
 func (t *CAT) Observe(row uint64) bool {
-	if p := t.tab.Lookup(row); p != nil {
-		prev := *p
-		*p = prev + 1
-		t.touch(row)
-		return crossedMultiple(prev, prev+1, t.threshold)
+	if t.mightContain(row) {
+		if ti, s, p := t.tab.LookupPos(row); p != nil {
+			prev := *p
+			*p = prev + 1
+			// Only the holding set's minimum can change, and only if
+			// this entry sat at it.
+			if prev == t.setMin[ti][s] {
+				t.recomputeSetMin(ti, s)
+			}
+			return crossedMultiple(prev, prev+1, t.threshold)
+		}
 	}
 	// Installs never trigger (see the CAM implementation's comment: an
 	// untracked row's true count is bounded by the spill counter < T).
@@ -105,11 +209,40 @@ func (t *CAT) Observe(row uint64) bool {
 	// equals the global minimum and evict a minimum entry from it.
 	victim, found := t.findMinEntry(min)
 	if found {
-		t.tab.Delete(victim)
-		t.touch(victim)
+		if vti, vs, ok := t.tab.DeletePos(victim); ok {
+			t.removePresent(victim)
+			t.recomputeSetMin(vti, vs)
+		}
 	}
 	t.install(row, t.spill+1)
 	return false
+}
+
+// ObserveN implements Tracker: n counter bumps collapse into one
+// addition for a tracked row (recomputeSetMin is an exact rescan, so the
+// single-bump bookkeeping carries over); untracked rows fall back to n
+// single observations.
+func (t *CAT) ObserveN(row uint64, n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	if t.mightContain(row) {
+		if ti, s, p := t.tab.LookupPos(row); p != nil {
+			prev := *p
+			*p = prev + n
+			if prev == t.setMin[ti][s] {
+				t.recomputeSetMin(ti, s)
+			}
+			return int((prev+n)/t.threshold - prev/t.threshold)
+		}
+	}
+	fired := 0
+	for i := int64(0); i < n; i++ {
+		if t.Observe(row) {
+			fired++
+		}
+	}
+	return fired
 }
 
 // findMinEntry locates some entry whose count equals min.
@@ -138,16 +271,38 @@ func (t *CAT) findMinEntry(min int64) (row uint64, found bool) {
 // with 6 extra ways) falls back to dropping the install, which only makes
 // the tracker more conservative about the spill bound on the next miss.
 func (t *CAT) install(row uint64, cnt int64) {
-	if t.tab.Install(row, cnt) != nil {
-		t.touch(row)
+	ti, s, vp := t.tab.InstallPos(row, cnt)
+	if vp != nil {
+		t.addPresent(row)
+	}
+	if r := t.tab.Relocations(); r != t.relocs {
+		// A cuckoo move shifted a third entry between sets; the
+		// incremental bookkeeping cannot attribute it, so rebuild.
+		t.relocs = r
+		t.recomputeAllSetMin()
+		return
+	}
+	if vp == nil {
+		return
+	}
+	if cnt < t.setMin[ti][s] {
+		t.setMin[ti][s] = cnt
+		if !t.gminDirty && cnt < t.gmin {
+			t.gmin = cnt
+		}
 	}
 }
 
 // Contains implements Tracker.
-func (t *CAT) Contains(row uint64) bool { return t.tab.Contains(row) }
+func (t *CAT) Contains(row uint64) bool {
+	return t.mightContain(row) && t.tab.Contains(row)
+}
 
 // Count implements Tracker.
 func (t *CAT) Count(row uint64) (int64, bool) {
+	if !t.mightContain(row) {
+		return 0, false
+	}
 	if p := t.tab.Lookup(row); p != nil {
 		return *p, true
 	}
@@ -176,4 +331,8 @@ func (t *CAT) Reset() {
 			t.setMin[ti][s] = math.MaxInt64
 		}
 	}
+	t.gmin = math.MaxInt64
+	t.gminDirty = false
+	clear(t.present)
+	t.bigRows = 0
 }

@@ -27,6 +27,12 @@ type Tracker interface {
 	// estimated count just crossed a multiple of the threshold — i.e.,
 	// whether the mitigating action (row swap) should run now.
 	Observe(row uint64) bool
+	// ObserveN records n consecutive activations of row in one bulk
+	// update, with final state identical to n Observe calls, and returns
+	// how many of them crossed a multiple of the threshold. The memory
+	// controller uses it to deliver a deferred same-row activation burst
+	// with a single tracker update.
+	ObserveN(row uint64, n int64) int
 	// Contains reports whether row currently has a tracker entry. RRS
 	// excludes tracked rows from being random swap destinations.
 	Contains(row uint64) bool

@@ -1,6 +1,7 @@
 package tracker
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -261,6 +262,98 @@ func TestPropertyBothImplementationsSameSpill(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCAMDeterministicEviction: two CAM instances fed the same
+// eviction-heavy stream must hold identical state — same tracked set,
+// same counts, same spill. The previous map-backed implementation chose
+// eviction victims by Go map iteration order, which is randomized per
+// map instance, so two replays of one stream could diverge.
+func TestCAMDeterministicEviction(t *testing.T) {
+	a := NewCAM(8, 50)
+	b := NewCAM(8, 50)
+	rng := prince.Seeded(17)
+	// Many ties at the minimum count: small row pool, capacity 8, so
+	// evictions constantly choose among several minimum entries.
+	for i := 0; i < 5000; i++ {
+		row := uint64(rng.Intn(64))
+		fa := a.Observe(row)
+		fb := b.Observe(row)
+		if fa != fb {
+			t.Fatalf("obs %d row %d: trigger mismatch (%v vs %v)", i, row, fa, fb)
+		}
+	}
+	if a.Spill() != b.Spill() || a.Len() != b.Len() {
+		t.Fatalf("state diverged: spill %d/%d len %d/%d",
+			a.Spill(), b.Spill(), a.Len(), b.Len())
+	}
+	for row := uint64(0); row < 64; row++ {
+		ca, oka := a.Count(row)
+		cb, okb := b.Count(row)
+		if oka != okb || ca != cb {
+			t.Fatalf("row %d: count (%d,%v) vs (%d,%v)", row, ca, oka, cb, okb)
+		}
+	}
+}
+
+// TestCAMMatchesReferenceModel drives the CAM against a brute-force
+// Misra-Gries model (linear scans, lowest-install-order victim among
+// minimum entries is not required — only count/spill/membership-size
+// equivalence, which is victim-independent) and additionally checks the
+// cached-minimum bookkeeping via the exported observers.
+func TestCAMMatchesReferenceModel(t *testing.T) {
+	const capacity, threshold = 6, 9
+	c := NewCAM(capacity, threshold)
+	model := map[uint64]int64{}
+	var spill int64
+	rng := prince.Seeded(23)
+	for i := 0; i < 4000; i++ {
+		row := uint64(rng.Intn(40))
+		fired := c.Observe(row)
+		if cnt, ok := model[row]; ok {
+			model[row] = cnt + 1
+			if want := crossedMultiple(cnt, cnt+1, threshold); fired != want {
+				t.Fatalf("obs %d row %d: fired=%v want %v", i, row, fired, want)
+			}
+		} else if len(model) < capacity {
+			model[row] = spill + 1
+		} else {
+			min := int64(math.MaxInt64)
+			for _, v := range model {
+				if v < min {
+					min = v
+				}
+			}
+			if min > spill {
+				spill++
+			} else {
+				// Evict one minimum entry; which one is
+				// implementation-defined, so mirror the CAM's choice.
+				var victim uint64
+				found := false
+				for r, v := range model {
+					if v == min && !c.Contains(r) {
+						victim, found = r, true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("obs %d: CAM evicted no minimum entry", i)
+				}
+				delete(model, victim)
+				model[row] = spill + 1
+			}
+		}
+		if c.Spill() != spill || c.Len() != len(model) {
+			t.Fatalf("obs %d: spill %d want %d, len %d want %d",
+				i, c.Spill(), spill, c.Len(), len(model))
+		}
+		for r, v := range model {
+			if got, ok := c.Count(r); !ok || got != v {
+				t.Fatalf("obs %d row %d: count (%d,%v) want %d", i, r, got, ok, v)
+			}
+		}
 	}
 }
 
