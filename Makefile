@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick vet lint race serve experiments examples clean
+.PHONY: all build test test-short bench bench-figures bench-quick vet lint race chaos fuzz serve experiments examples clean
 
 all: build lint test
 
@@ -27,6 +27,16 @@ test-short:
 # is concurrency-heavy; CI runs this on every PR).
 race:
 	$(GO) test -race ./...
+
+# chaos soaks the serving layer's failure handling under the race
+# detector: fault-injected sweeps, journal crash/replay, panic
+# isolation. Repeated (-count=2) to shake out ordering luck.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Journal' ./internal/service/... ./internal/chaos/...
+
+# fuzz hammers the spec decode/normalize/hash pipeline briefly.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSpecDecode -fuzztime 30s ./internal/service/
 
 # serve starts the simulation job service on :8080.
 serve:

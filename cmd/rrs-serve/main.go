@@ -6,7 +6,16 @@
 //
 // Usage:
 //
-//	rrs-serve -addr :8080 -workers 8 -queue-depth 128 -cache-entries 512
+//	rrs-serve -addr :8080 -workers 8 -queue-depth 128 -cache-entries 512 -journal jobs.journal
+//
+// With -journal, accepted specs and terminal states are written to an
+// append-only JSONL write-ahead log. On startup the journal is replayed:
+// finished results repopulate the cache, and jobs that never reached a
+// terminal state are re-enqueued under their original ids — a kill -9
+// mid-sweep loses no accepted work. Transiently failed runs are retried
+// automatically up to -job-retries times, and a panic inside a
+// simulation marks only that job failed (rrs_worker_panics_total); the
+// process keeps serving.
 //
 // Walkthrough:
 //
@@ -42,15 +51,38 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity (-1 disables)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job run limit (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
+		jobRetries   = flag.Int("job-retries", 2, "automatic retries for transiently failed runs (-1 disables)")
+		journalPath  = flag.String("journal", "", "durable job journal path (JSONL WAL; empty disables durability)")
 	)
 	flag.Parse()
+
+	var journal *service.Journal
+	var replayed *service.Replayed
+	if *journalPath != "" {
+		var err error
+		journal, replayed, err = service.OpenJournal(*journalPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer journal.Close()
+	}
 
 	mgr := service.NewManager(service.Options{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *jobTimeout,
+		JobRetries:     *jobRetries,
+		Journal:        journal,
 	})
+	if replayed != nil {
+		if err := mgr.Restore(replayed); err != nil {
+			fmt.Fprintf(os.Stderr, "rrs-serve: journal replay: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"rrs-serve: journal %s replayed: %d jobs (%d re-enqueued, %d cached results, %d corrupt lines dropped)\n",
+			*journalPath, len(replayed.Jobs), replayed.Pending, replayed.Results, replayed.Dropped)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.Handler(mgr),

@@ -1,0 +1,237 @@
+// Package chaos is deterministic fault injection for the serving layer.
+// It supplies the two failure surfaces a real fleet exposes — the
+// network between client and server, and the worker executing a job —
+// as seeded, repeatable wrappers:
+//
+//   - Transport is an http.RoundTripper that drops connections, injects
+//     synthetic 5xx responses, and adds jittered latency at configured
+//     rates, driven by one seeded PRNG so a failing schedule replays
+//     exactly under `go test -race -run Chaos`.
+//   - FlakyRuns wraps a job-execution function with per-spec transient
+//     failures (classified for the manager's retry policy) and targeted
+//     panics, exercising panic isolation and automatic retries without a
+//     single nondeterministic branch.
+//
+// Nothing here is imported by production code; the packages under test
+// take the interfaces (http.RoundTripper, service.Options.Run) and the
+// chaos wrappers slot in from tests.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Faults configures a Transport. Rates are probabilities in [0, 1],
+// evaluated per request in the order drop → fail → delay.
+type Faults struct {
+	// Seed drives every probabilistic decision; equal seeds give equal
+	// fault schedules.
+	Seed uint64
+	// DropRate is the chance a request never reaches the server: the
+	// round trip returns a connection-refused-shaped error.
+	DropRate float64
+	// FailRate is the chance the server's answer is replaced by a
+	// synthetic 503 (the request is NOT forwarded — like a proxy
+	// shedding load before the backend).
+	FailRate float64
+	// DelayRate is the chance a request is delayed by a uniform draw in
+	// (0, MaxDelay] before being forwarded.
+	DelayRate float64
+	// MaxDelay bounds injected latency (default 10 ms when DelayRate > 0).
+	MaxDelay time.Duration
+}
+
+// Transport injects Faults in front of an inner http.RoundTripper. It is
+// safe for concurrent use; the seeded PRNG is mutex-serialized so the
+// fault sequence is a deterministic function of request order.
+type Transport struct {
+	// Inner performs real round trips (default http.DefaultTransport).
+	// Tests that restart a backend swap the target by making Inner a
+	// rewriting transport.
+	Inner http.RoundTripper
+
+	faults Faults
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	requests int64
+	dropped  int64
+	failed   int64
+	delayed  int64
+}
+
+// NewTransport builds a fault-injecting transport.
+func NewTransport(f Faults, inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if f.MaxDelay <= 0 {
+		f.MaxDelay = 10 * time.Millisecond
+	}
+	return &Transport{
+		Inner:  inner,
+		faults: f,
+		rng:    rand.New(rand.NewSource(int64(f.Seed))),
+	}
+}
+
+// droppedError is the connection-level failure Transport fabricates. It
+// classifies as transient so retry loops treat it like a real outage.
+type droppedError struct{ op string }
+
+func (e *droppedError) Error() string   { return "chaos: connection dropped during " + e.op }
+func (e *droppedError) Transient() bool { return true }
+
+// RoundTrip applies the fault schedule, then defers to Inner.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.requests++
+	drop := t.rng.Float64() < t.faults.DropRate
+	fail := !drop && t.rng.Float64() < t.faults.FailRate
+	var delay time.Duration
+	if !drop && !fail && t.faults.DelayRate > 0 && t.rng.Float64() < t.faults.DelayRate {
+		delay = time.Duration(1 + t.rng.Int63n(int64(t.faults.MaxDelay)))
+	}
+	switch {
+	case drop:
+		t.dropped++
+	case fail:
+		t.failed++
+	case delay > 0:
+		t.delayed++
+	}
+	t.mu.Unlock()
+
+	if drop {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &droppedError{op: req.Method + " " + req.URL.Path}
+	}
+	if fail {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"chaos: injected 503"}`)),
+			Request: req,
+		}, nil
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	return t.Inner.RoundTrip(req)
+}
+
+// Stats reports how many requests were seen and faulted.
+func (t *Transport) Stats() (requests, dropped, failed, delayed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests, t.dropped, t.failed, t.delayed
+}
+
+// RunFunc is the manager's job-execution hook (service.Options.Run).
+type RunFunc = service.RunFunc
+
+// FlakyRuns injects worker-side faults into a RunFunc. Failure decisions
+// are per spec hash: a spec's first FailAttempts runs fail with a
+// transient error (so the manager's bounded retry is guaranteed to
+// recover it — no probabilistic tail of permanently unlucky jobs), and
+// specs selected by PanicOn panic on every run, modeling a deterministic
+// engine bug.
+type FlakyRuns struct {
+	// Rate is the fraction of distinct specs whose first FailAttempts
+	// runs fail transiently, chosen by a seeded hash of the spec.
+	Rate float64
+	// FailAttempts is how many leading attempts of a selected spec fail
+	// (default 1).
+	FailAttempts int
+	// Seed decorrelates spec selection across tests.
+	Seed uint64
+	// PanicOn, when non-nil, marks specs whose runs always panic.
+	PanicOn func(spec service.Spec) bool
+
+	mu       sync.Mutex
+	attempts map[string]int
+	injected int64
+	panics   int64
+}
+
+// Wrap returns inner with the configured faults applied in front.
+func (f *FlakyRuns) Wrap(inner RunFunc) RunFunc {
+	if f.FailAttempts <= 0 {
+		f.FailAttempts = 1
+	}
+	return func(ctx context.Context, spec service.Spec,
+		progress func(done, total int64)) (sim.Result, error) {
+		if f.PanicOn != nil && f.PanicOn(spec) {
+			f.mu.Lock()
+			f.panics++
+			f.mu.Unlock()
+			panic("chaos: injected worker panic")
+		}
+		hash := spec.Hash()
+		f.mu.Lock()
+		if f.attempts == nil {
+			f.attempts = make(map[string]int)
+		}
+		attempt := f.attempts[hash]
+		f.attempts[hash] = attempt + 1
+		flaky := selected(hash, f.Seed, f.Rate)
+		inject := flaky && attempt < f.FailAttempts
+		if inject {
+			f.injected++
+		}
+		f.mu.Unlock()
+		if inject {
+			return sim.Result{}, resilience.MarkTransient(
+				fmt.Errorf("chaos: injected transient failure (attempt %d)", attempt+1))
+		}
+		return inner(ctx, spec, progress)
+	}
+}
+
+// Stats reports injected transient failures and panics so far.
+func (f *FlakyRuns) Stats() (injected, panics int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected, f.panics
+}
+
+// selected deterministically maps a spec hash to [0,1) and compares it
+// to rate. FNV-style fold of the hex hash mixed with the seed.
+func selected(hash string, seed uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(hash); i++ {
+		h ^= uint64(hash[i])
+		h *= 0x100000001b3
+	}
+	return float64(h>>11)/float64(1<<53) < rate
+}

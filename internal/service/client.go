@@ -4,64 +4,128 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
 // Client talks to a running rrs-serve. It is safe for concurrent use —
 // cmd/rrs-experiments fans a whole figure sweep through one Client.
+//
+// The client is built for an unreliable network and a restartable
+// server: transient failures (connection errors, 5xx, 429) are retried
+// with full-jitter exponential backoff, Retry-After hints are honored,
+// result polls are jittered so sweep fan-outs do not synchronize, and a
+// retried POST after a dropped response is idempotent — the server
+// coalesces submissions by spec content hash, so the retry lands on the
+// same job instead of double-running the simulation.
 type Client struct {
 	base string
 	hc   *http.Client
-	// PollInterval is the result-polling cadence (default 250 ms).
+	// PollInterval is the base result-polling cadence (default 250 ms);
+	// actual polls are jittered around it and back off toward
+	// maxPollBackoff× under sustained pending responses.
 	PollInterval time.Duration
+	// Retry shapes the transient-failure retry loop for every request.
+	Retry resilience.Policy
+}
+
+// maxPollBackoff caps how far the pending-result poll interval grows, as
+// a multiple of PollInterval.
+const maxPollBackoff = 8
+
+// maxResubmits bounds how many times Run re-submits a spec whose job
+// vanished server-side (a restart that lost the record, or a concurrent
+// DELETE) before giving up.
+const maxResubmits = 5
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the transport — how tests drive the client
+// through a fault-injecting chaos RoundTripper.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetryPolicy overrides the default retry policy.
+func WithRetryPolicy(p resilience.Policy) ClientOption {
+	return func(c *Client) { c.Retry = p }
 }
 
 // NewClient targets a server base URL such as "http://localhost:8080".
-func NewClient(base string) *Client {
-	return &Client{
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
 		base: strings.TrimRight(base, "/"),
 		hc:   &http.Client{Timeout: 30 * time.Second},
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
-// Health checks GET /healthz.
+// APIError is a non-2xx server response. It classifies itself for the
+// retry loop: 429 and 5xx (minus 501) are transient, everything else is
+// permanent.
+type APIError struct {
+	Status  int
+	Message string
+	// After is the server's Retry-After hint, when present.
+	After time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service client: server returned %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("service client: server returned %d", e.Status)
+}
+
+// Transient reports whether a retry may outlive the failure.
+func (e *APIError) Transient() bool { return resilience.TransientStatus(e.Status) }
+
+// RetryAfter surfaces the server's wait hint to the retry loop.
+func (e *APIError) RetryAfter() time.Duration { return e.After }
+
+// Health checks GET /healthz (with transient-failure retries, so it
+// doubles as a wait-for-server-up probe).
 func (c *Client) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
+	err := resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, _, _, err := c.roundTrip(ctx, http.MethodGet, "/healthz", nil)
 		return err
-	}
-	resp, err := c.hc.Do(req)
+	})
 	if err != nil {
-		return fmt.Errorf("service client: %s unreachable: %w", c.base, err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("service client: healthz returned %s", resp.Status)
+		return fmt.Errorf("service client: %s health: %w", c.base, err)
 	}
 	return nil
 }
 
-// Submit POSTs spec and returns the accepted job's view.
+// Submit POSTs spec and returns the accepted job's view. Retried
+// transparently on transient failures: the spec content hash makes the
+// resubmission idempotent server-side.
 func (c *Client) Submit(ctx context.Context, spec Spec) (JobView, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobView{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+apiPrefix, bytes.NewReader(body))
-	if err != nil {
-		return JobView{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var v JobView
-	if err := c.do(req, http.StatusCreated, http.StatusOK, &v); err != nil {
+	err = resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, raw, _, err := c.roundTrip(ctx, http.MethodPost, apiPrefix, body)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(raw, &v)
+	})
+	if err != nil {
 		return JobView{}, err
 	}
 	return v, nil
@@ -69,13 +133,15 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (JobView, error) {
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+apiPrefix+"/"+id, nil)
-	if err != nil {
-		return JobView{}, err
-	}
 	var v JobView
-	if err := c.do(req, http.StatusOK, 0, &v); err != nil {
+	err := resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, raw, _, err := c.roundTrip(ctx, http.MethodGet, apiPrefix+"/"+id, nil)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(raw, &v)
+	})
+	if err != nil {
 		return JobView{}, err
 	}
 	return v, nil
@@ -83,88 +149,134 @@ func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
 
 // Cancel DELETEs a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
-		c.base+apiPrefix+"/"+id, nil)
-	if err != nil {
+	return resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, _, _, err := c.roundTrip(ctx, http.MethodDelete, apiPrefix+"/"+id, nil)
 		return err
-	}
-	var v JobView
-	return c.do(req, http.StatusOK, 0, &v)
+	})
 }
 
 // Result polls GET /v1/jobs/{id}/result until the job finishes, ctx is
-// cancelled, or the server reports a terminal failure.
+// cancelled, or the server reports a terminal failure. Transient
+// transport failures during a poll are retried; pending responses back
+// off with jitter (honoring Retry-After) so a fleet of pollers spreads
+// out instead of beating in phase.
 func (c *Client) Result(ctx context.Context, id string) (sim.Result, error) {
-	interval := c.PollInterval
-	if interval <= 0 {
-		interval = 250 * time.Millisecond
+	base := c.PollInterval
+	useHint := base <= 0 // an explicit PollInterval overrides server hints
+	if base <= 0 {
+		base = 250 * time.Millisecond
 	}
+	wait := base
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			c.base+apiPrefix+"/"+id+"/result", nil)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return sim.Result{}, err
-		}
-		switch resp.StatusCode {
-		case http.StatusOK:
-			var env ResultEnvelope
-			if err := json.Unmarshal(body, &env); err != nil {
-				return sim.Result{}, fmt.Errorf("service client: decoding result: %w", err)
+		var env ResultEnvelope
+		var hint time.Duration
+		pending := false
+		err := resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+			status, raw, after, err := c.roundTrip(ctx, http.MethodGet,
+				apiPrefix+"/"+id+"/result", nil)
+			if err != nil {
+				return err
 			}
+			if status == http.StatusAccepted {
+				pending, hint = true, after
+				return nil
+			}
+			pending = false
+			if uerr := json.Unmarshal(raw, &env); uerr != nil {
+				return fmt.Errorf("service client: decoding result: %w", uerr)
+			}
+			return nil
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if !pending {
 			return env.Result, nil
-		case http.StatusAccepted:
-			select {
-			case <-ctx.Done():
-				return sim.Result{}, ctx.Err()
-			case <-time.After(interval):
-			}
-		default:
-			return sim.Result{}, apiError(resp.StatusCode, body)
+		}
+		// Jittered backoff between pending polls: uniform in
+		// [wait/2, wait), at least the server's hint, growing toward the
+		// cap while the job stays pending.
+		d := wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		if useHint && hint > d {
+			d = hint
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return sim.Result{}, ctx.Err()
+		case <-t.C:
+		}
+		if wait < maxPollBackoff*base {
+			wait = wait * 3 / 2
 		}
 	}
 }
 
 // Run submits spec and waits for its result — the drop-in remote
-// equivalent of sim.Run for named-mitigation jobs.
+// equivalent of sim.Run for named-mitigation jobs. If the job record
+// vanishes mid-poll (a server restart whose journal did not cover it, or
+// a concurrent DELETE), Run re-submits the spec: results are
+// content-addressed, so the replacement job is the same computation and
+// usually a cache hit.
 func (c *Client) Run(ctx context.Context, spec Spec) (sim.Result, error) {
-	v, err := c.Submit(ctx, spec)
-	if err != nil {
-		return sim.Result{}, err
+	var lastErr error
+	for attempt := 0; attempt <= maxResubmits; attempt++ {
+		v, err := c.Submit(ctx, spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res, err := c.Result(ctx, v.ID)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			lastErr = err
+			continue // the job is gone; resubmit the spec
+		}
+		return res, err
 	}
-	return c.Result(ctx, v.ID)
+	return sim.Result{}, fmt.Errorf("service client: job lost %d times: %w",
+		maxResubmits+1, lastErr)
 }
 
-// do executes req expecting one of two success codes (okAlt 0 = only
-// ok), decoding the JSON body into out.
-func (c *Client) do(req *http.Request, ok, okAlt int, out any) error {
+// roundTrip performs one HTTP exchange, returning the status, body and
+// Retry-After hint on 2xx and a classified error otherwise.
+// Connection-level failures come back as-is (net errors classify as
+// transient); non-2xx statuses become *APIError carrying the hint.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (int, []byte, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, nil, 0, err
 	}
-	body, err := io.ReadAll(resp.Body)
+	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return err
+		return 0, nil, 0, resilience.MarkTransient(
+			fmt.Errorf("service client: reading response: %w", err))
 	}
-	if resp.StatusCode != ok && (okAlt == 0 || resp.StatusCode != okAlt) {
-		return apiError(resp.StatusCode, body)
+	var after time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
 	}
-	return json.Unmarshal(body, out)
-}
-
-func apiError(status int, body []byte) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp.StatusCode, raw, after, nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode, After: after}
 	var e errorBody
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service client: server returned %d: %s", status, e.Error)
+	if json.Unmarshal(raw, &e) == nil {
+		apiErr.Message = e.Error
 	}
-	return fmt.Errorf("service client: server returned %d", status)
+	return resp.StatusCode, raw, after, apiErr
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/sim"
@@ -20,6 +21,17 @@ import (
 //	GET    /healthz          liveness             → 200 {"status":"ok",...}
 //	GET    /metrics          Prometheus text (or JSON with ?format=json)
 const apiPrefix = "/v1/jobs"
+
+// maxSpecBytes bounds POST /v1/jobs request bodies. A Spec is a few
+// hundred bytes of scalars and workload names; 1 MiB is generous, and
+// the bound turns an attacker streaming an endless body into a 413
+// instead of an unbounded io.ReadAll allocation.
+const maxSpecBytes = 1 << 20
+
+// retryAfterSeconds is the hint attached to 429 (queue full) and 202
+// (result pending) responses so well-behaved clients back off without
+// guessing a cadence.
+const retryAfterSeconds = 1
 
 // ResultEnvelope wraps a finished job's numbers for GET .../result.
 // sim.Result serializes without its Mitigation field (tagged json:"-"),
@@ -64,20 +76,45 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(m.Metrics(), w, r)
 	})
-	return mux
+	return recoverMiddleware(m.Metrics(), mux)
+}
+
+// recoverMiddleware contains a handler panic to its own request: the
+// client gets a 500 with a JSON error and the process keeps serving.
+func recoverMiddleware(met *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				met.Inc("rrs_http_panics_total", 1)
+				// If the handler already wrote headers this is a no-op
+				// on the status line, but the connection still closes
+				// cleanly instead of taking the server down.
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	var spec Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("spec exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}
 	j, err := m.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -127,6 +164,7 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 	switch v.State {
 	case StateQueued, StateRunning:
 		// Not ready: tell pollers to come back, carrying progress.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeJSON(w, http.StatusAccepted, v)
 	case StateDone:
 		res, _ := j.Result()

@@ -1,0 +1,393 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The job journal is an append-only JSONL write-ahead log that makes
+// accepted work durable: one record per line, appended (and synced) when
+// a job is accepted, when it reaches a terminal state, and when its
+// record is removed. A spec is durable once POST /v1/jobs has returned
+// 201 — a crash after that point (kill -9 included) loses neither the
+// job nor any result the process had already computed.
+//
+// On startup, OpenJournal replays the log into a Replayed summary and
+// compacts the file: terminal jobs keep their accepted+terminal pair
+// (their results double as the durable result-cache snapshot), removed
+// jobs are dropped, and jobs with no terminal record come back as
+// pending. Manager.Restore then re-populates the job table and cache and
+// re-enqueues the pending jobs under their original ids, so clients
+// polling across a restart resume against the same job URLs.
+//
+// Torn final lines (a crash mid-append) are tolerated and dropped during
+// replay; every earlier record is intact because appends are
+// line-buffered in one write and fsynced.
+
+// journalRecord is one JSONL line. Type decides which fields matter.
+type journalRecord struct {
+	Type journalRecordType `json:"type"`
+	ID   string            `json:"id,omitempty"`
+	Seq  uint64            `json:"seq,omitempty"`
+	Hash string            `json:"hash,omitempty"`
+	Spec *Spec             `json:"spec,omitempty"`
+	// Terminal-state fields.
+	State    State       `json:"state,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Attempts int         `json:"attempts,omitempty"`
+	Result   *sim.Result `json:"result,omitempty"`
+	// Timestamps, RFC3339Nano.
+	Submitted string `json:"submitted_at,omitempty"`
+	Finished  string `json:"finished_at,omitempty"`
+}
+
+type journalRecordType string
+
+const (
+	recAccepted journalRecordType = "accepted"
+	recTerminal journalRecordType = "terminal"
+	recRemoved  journalRecordType = "removed"
+)
+
+// acceptedRecord snapshots j for the accept line.
+func acceptedRecord(j *Job) journalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec := j.spec
+	return journalRecord{
+		Type:      recAccepted,
+		ID:        j.id,
+		Seq:       j.seq,
+		Hash:      j.hash,
+		Spec:      &spec,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// terminalRecord snapshots j for the terminal line. Results ride along
+// for done jobs — replaying them is what reconstitutes the result cache.
+func terminalRecord(j *Job) journalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := journalRecord{
+		Type:     recTerminal,
+		ID:       j.id,
+		Hash:     j.hash,
+		State:    j.state,
+		Error:    j.err,
+		Attempts: j.attempts,
+		Finished: j.finished.UTC().Format(time.RFC3339Nano),
+	}
+	if j.state == StateDone && j.result != nil {
+		res := *j.result
+		rec.Result = &res
+	}
+	return rec
+}
+
+// Journal is the append handle. Appends are serialized and synced; after
+// Close they become silent no-ops (which is how tests simulate the
+// process dying while the manager's workers are still winding down).
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// ReplayedJob is one job reconstructed from the log, in submission
+// order. State is StateQueued for jobs that never reached a terminal
+// record — the ones Restore re-enqueues.
+type ReplayedJob struct {
+	ID        string
+	Seq       uint64
+	Hash      string
+	Spec      Spec
+	State     State
+	Error     string
+	Attempts  int
+	Result    *sim.Result
+	Submitted time.Time
+	Finished  time.Time
+}
+
+// Replayed summarizes a journal's reconstruction.
+type Replayed struct {
+	// Jobs holds every non-removed job in submission order.
+	Jobs []ReplayedJob
+	// Pending counts jobs that will be re-enqueued (no terminal state).
+	Pending int
+	// Results counts durable done-results (the cache snapshot).
+	Results int
+	// Dropped counts unparseable lines (at most the torn final line of a
+	// crashed process, but any corruption is skipped, not fatal).
+	Dropped int
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// its records, compacts the file, and returns the append handle plus the
+// replay summary for Manager.Restore.
+func OpenJournal(path string) (*Journal, *Replayed, error) {
+	rep, jobs, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compactJournal(path, jobs); err != nil {
+		return nil, nil, fmt.Errorf("service: compacting journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, rep, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close stops all future appends and releases the file. Safe to call
+// more than once.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// append writes one record as a JSONL line and syncs it to disk.
+func (j *Journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// replayJournal folds the log into per-job end states.
+func replayJournal(path string) (*Replayed, []ReplayedJob, error) {
+	rep := &Replayed{}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[string]*ReplayedJob)
+	order := []string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // results are large-ish lines
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			rep.Dropped++ // torn or corrupt line; later records still apply
+			continue
+		}
+		switch rec.Type {
+		case recAccepted:
+			if rec.ID == "" || rec.Spec == nil {
+				rep.Dropped++
+				continue
+			}
+			rj := &ReplayedJob{
+				ID:    rec.ID,
+				Seq:   rec.Seq,
+				Hash:  rec.Hash,
+				Spec:  *rec.Spec,
+				State: StateQueued,
+			}
+			rj.Submitted, _ = time.Parse(time.RFC3339Nano, rec.Submitted)
+			if _, dup := byID[rec.ID]; !dup {
+				order = append(order, rec.ID)
+			}
+			byID[rec.ID] = rj
+		case recTerminal:
+			rj, ok := byID[rec.ID]
+			if !ok {
+				continue // e.g. a queue-full rejection; nothing was accepted
+			}
+			rj.State = rec.State
+			rj.Error = rec.Error
+			rj.Attempts = rec.Attempts
+			rj.Result = rec.Result
+			rj.Finished, _ = time.Parse(time.RFC3339Nano, rec.Finished)
+		case recRemoved:
+			if _, ok := byID[rec.ID]; ok {
+				delete(byID, rec.ID)
+			}
+		default:
+			rep.Dropped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+
+	jobs := make([]ReplayedJob, 0, len(byID))
+	for _, id := range order {
+		if rj, ok := byID[id]; ok {
+			jobs = append(jobs, *rj)
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Seq < jobs[b].Seq })
+	for i := range jobs {
+		switch jobs[i].State {
+		case StateDone:
+			if jobs[i].Result != nil {
+				rep.Results++
+			}
+		case StateQueued:
+			rep.Pending++
+		}
+	}
+	rep.Jobs = jobs
+	return rep, jobs, nil
+}
+
+// compactJournal rewrites the log to exactly the live records, via a
+// temp file and an atomic rename so a crash mid-compaction leaves either
+// the old or the new journal, never a torn one.
+func compactJournal(path string, jobs []ReplayedJob) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for i := range jobs {
+		rj := &jobs[i]
+		spec := rj.Spec
+		if err := enc.Encode(journalRecord{
+			Type: recAccepted, ID: rj.ID, Seq: rj.Seq, Hash: rj.Hash, Spec: &spec,
+			Submitted: rj.Submitted.UTC().Format(time.RFC3339Nano),
+		}); err != nil {
+			return err
+		}
+		if rj.State.terminal() {
+			if err := enc.Encode(journalRecord{
+				Type: recTerminal, ID: rj.ID, Hash: rj.Hash, State: rj.State,
+				Error: rj.Error, Attempts: rj.Attempts, Result: rj.Result,
+				Finished: rj.Finished.UTC().Format(time.RFC3339Nano),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Restore loads a journal replay into the manager: terminal jobs come
+// back as inspectable records, done results warm the cache, and pending
+// jobs are re-enqueued under their original ids. Call it once, before
+// exposing the manager over HTTP, on a manager built with the matching
+// Options.Journal. Jobs whose spec no longer validates (a journal from
+// an older build, hand edits) are marked failed rather than replayed
+// forever.
+func (m *Manager) Restore(rep *Replayed) error {
+	if rep == nil || len(rep.Jobs) == 0 {
+		return nil
+	}
+	var errs []error
+	for i := range rep.Jobs {
+		rj := &rep.Jobs[i]
+		j := &Job{
+			id:        rj.ID,
+			seq:       rj.Seq,
+			spec:      rj.Spec.Normalize(),
+			hash:      rj.Hash,
+			state:     rj.State,
+			attempts:  rj.Attempts,
+			err:       rj.Error,
+			submitted: rj.Submitted,
+			finished:  rj.Finished,
+			done:      make(chan struct{}),
+		}
+		if j.hash == "" {
+			j.hash = j.spec.Hash()
+		}
+
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		if _, exists := m.jobs[j.id]; exists {
+			m.mu.Unlock()
+			errs = append(errs, fmt.Errorf("service: journal job %s collides with a live job", j.id))
+			continue
+		}
+		m.jobs[j.id] = j
+		if j.seq > m.seq {
+			m.seq = j.seq
+		}
+		m.mu.Unlock()
+		m.met.Inc("rrs_jobs_restored_total", 1)
+
+		if rj.State.terminal() {
+			if rj.State == StateDone && rj.Result != nil {
+				res := *rj.Result
+				j.result = &res
+				j.progress = 1
+				m.cache.Put(j.hash, res)
+			}
+			close(j.done)
+			continue
+		}
+
+		// Pending: validate against the current build, then re-enqueue.
+		if err := j.spec.Validate(); err != nil {
+			m.finish(j, StateFailed, fmt.Sprintf("journal replay: %v", err))
+			m.met.Inc("rrs_jobs_failed_total", 1)
+			continue
+		}
+		m.mu.Lock()
+		if _, dup := m.inflight[j.hash]; !dup {
+			m.inflight[j.hash] = j
+		}
+		m.mu.Unlock()
+		if err := m.queue.Push(j); err != nil {
+			m.finish(j, StateFailed, fmt.Sprintf("journal replay: %v", err))
+			m.met.Inc("rrs_jobs_failed_total", 1)
+			errs = append(errs, fmt.Errorf("service: re-enqueueing %s: %w", j.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,359 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// journalManager builds a stub manager journaling to path.
+func journalManager(t *testing.T, path string, opts Options,
+	fn func(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error)) (*Manager, *Journal, *Replayed) {
+	t.Helper()
+	j, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	opts.Journal = j
+	m := stubManager(t, opts, fn)
+	t.Cleanup(func() { j.Close() })
+	return m, j, rep
+}
+
+func TestJournalMissingFileReplaysEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(rep.Jobs) != 0 || rep.Pending != 0 || rep.Results != 0 || rep.Dropped != 0 {
+		t.Fatalf("empty journal replayed %+v", rep)
+	}
+}
+
+func TestJournalDoneJobsSurviveRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	m1, j1, _ := journalManager(t, path, Options{Workers: 2}, instantRun)
+
+	specs := []Spec{uniqueSpec(1), uniqueSpec(2), uniqueSpec(3)}
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		j, err := m1.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID()
+		if v := waitDone(t, j); v.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", v.ID, v.State, v.Error)
+		}
+	}
+	shutdown(t, m1)
+	j1.Close()
+
+	// Restart: the replay carries terminal jobs with results.
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rep.Jobs) != 3 || rep.Results != 3 || rep.Pending != 0 {
+		t.Fatalf("replay = %d jobs, %d results, %d pending; want 3/3/0",
+			len(rep.Jobs), rep.Results, rep.Pending)
+	}
+
+	m2 := stubManager(t, Options{Workers: 1, Journal: j2},
+		func(context.Context, Spec, func(int64, int64)) (sim.Result, error) {
+			t.Error("restored manager ran a simulation; results should come from the journal")
+			return sim.Result{}, nil
+		})
+	if err := m2.Restore(rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// Original job ids answer with their original results…
+	for i, id := range ids {
+		job, ok := m2.Get(id)
+		if !ok {
+			t.Fatalf("restored manager lost job %s", id)
+		}
+		v := job.Snapshot()
+		if v.State != StateDone {
+			t.Fatalf("restored job %s state = %s", id, v.State)
+		}
+		res, ok := job.Result()
+		if !ok || res.IPC != float64(specs[i].Seed) {
+			t.Fatalf("restored job %s result = (%+v, %v)", id, res, ok)
+		}
+	}
+	// …and resubmissions are cache hits, not recomputations.
+	j, err := m2.Submit(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, j); !v.CacheHit {
+		t.Error("resubmission after restart missed the replayed cache")
+	}
+}
+
+func TestJournalPendingJobsReenqueuedAfterCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	release := make(chan struct{})
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			<-release
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		j, err := m1.Submit(uniqueSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	// Simulate kill -9: stop journaling first, so the in-memory shutdown
+	// below cannot write terminal states the dead process never reached.
+	j1.Close()
+	close(release)
+	shutdown(t, m1)
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.Pending != 3 || len(rep.Jobs) != 3 {
+		t.Fatalf("replay = %d jobs, %d pending; want 3/3", len(rep.Jobs), rep.Pending)
+	}
+
+	m2 := stubManager(t, Options{Workers: 2, Journal: j2},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	if err := m2.Restore(rep); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		job, ok := m2.Get(id)
+		if !ok {
+			t.Fatalf("pending job %s not restored", id)
+		}
+		v := waitDone(t, job)
+		if v.State != StateDone || v.ID != id {
+			t.Fatalf("replayed job = %+v, want done under original id %s", v, id)
+		}
+		res, _ := job.Result()
+		if res.IPC != float64(i+1) {
+			t.Fatalf("replayed job %s IPC = %v, want %d", id, res.IPC, i+1)
+		}
+	}
+	// New submissions continue the id sequence past the replayed ones.
+	j4, err := m2.Submit(uniqueSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j4.ID() <= ids[len(ids)-1] {
+		t.Errorf("post-restore id %s does not extend replayed sequence ending %s",
+			j4.ID(), ids[len(ids)-1])
+	}
+	waitDone(t, j4)
+}
+
+func TestJournalTornFinalLineDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1}, instantRun)
+	j, err := m1.Submit(uniqueSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	shutdown(t, m1)
+	j1.Close()
+
+	// Simulate a crash mid-append: a torn, unparseable final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"accepted","id":"job-9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 torn line", rep.Dropped)
+	}
+	if len(rep.Jobs) != 1 || rep.Results != 1 {
+		t.Errorf("replay = %d jobs, %d results; the intact record must survive",
+			len(rep.Jobs), rep.Results)
+	}
+}
+
+func TestJournalCompactionDropsRemovedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1}, instantRun)
+	keep, err := m1.Submit(uniqueSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, keep)
+	gone, err := m1.Submit(uniqueSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, gone)
+	if err := m1.Remove(gone.ID()); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, m1)
+	j1.Close()
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(rep.Jobs) != 1 || rep.Jobs[0].ID != keep.ID() {
+		t.Fatalf("replay kept %d jobs; want only %s", len(rep.Jobs), keep.ID())
+	}
+	// The compacted file itself no longer mentions the removed job.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), gone.ID()) {
+		t.Errorf("compacted journal still mentions removed job %s:\n%s", gone.ID(), raw)
+	}
+	// Idempotence: a second replay of the compacted file is identical.
+	j3, rep2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if len(rep2.Jobs) != 1 || rep2.Results != rep.Results || rep2.Pending != rep.Pending {
+		t.Errorf("second replay %+v differs from first %+v", rep2, rep)
+	}
+}
+
+func TestJournalCancelledJobsNotReenqueued(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	release := make(chan struct{})
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1},
+		func(_ context.Context, _ Spec, _ func(int64, int64)) (sim.Result, error) {
+			<-release
+			return sim.Result{}, nil
+		})
+	blocker, err := m1.Submit(uniqueSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m1.Submit(uniqueSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := m1.Cancel(queued.ID()); !ok || err != nil {
+		t.Fatalf("Cancel = (%v, %v)", ok, err)
+	}
+	waitDone(t, queued)
+	close(release)
+	waitDone(t, blocker)
+	shutdown(t, m1)
+	j1.Close()
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.Pending != 0 {
+		t.Fatalf("Pending = %d; a cancelled job must not be re-enqueued", rep.Pending)
+	}
+	m2 := stubManager(t, Options{Workers: 1, Journal: j2}, instantRun)
+	if err := m2.Restore(rep); err != nil {
+		t.Fatal(err)
+	}
+	job, ok := m2.Get(queued.ID())
+	if !ok {
+		t.Fatalf("cancelled job %s not restored", queued.ID())
+	}
+	if v := job.Snapshot(); v.State != StateCancelled {
+		t.Errorf("restored state = %s, want cancelled", v.State)
+	}
+}
+
+func TestJournalInvalidReplayedSpecFailsJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	// Hand-write a pending job whose workload no longer exists.
+	line := `{"type":"accepted","id":"job-000001","seq":1,"hash":"deadbeef",` +
+		`"spec":{"workloads":["no-such-workload"]},"submitted_at":"2026-01-02T03:04:05Z"}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rep.Pending != 1 {
+		t.Fatalf("Pending = %d, want 1", rep.Pending)
+	}
+	m := stubManager(t, Options{Workers: 1, Journal: j}, instantRun)
+	if err := m.Restore(rep); err != nil {
+		t.Fatal(err)
+	}
+	job, ok := m.Get("job-000001")
+	if !ok {
+		t.Fatal("stale job not restored at all")
+	}
+	v := waitDone(t, job)
+	if v.State != StateFailed || !strings.Contains(v.Error, "unknown workload") {
+		t.Fatalf("stale spec replayed to %s (%s); want failed with a validation error",
+			v.State, v.Error)
+	}
+}
+
+func TestJournalClosedAppendsAreNoOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err) // double close is safe
+	}
+	if err := j.append(journalRecord{Type: recRemoved, ID: "job-000009"}); err != nil {
+		t.Fatalf("append after close = %v, want silent no-op", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Errorf("closed journal still wrote: %q", raw)
+	}
+}
+
+// shutdown drains m with a generous deadline.
+func shutdown(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

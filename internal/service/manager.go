@@ -9,13 +9,15 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
 // State is a job's lifecycle stage. Transitions: queued → running →
 // done | failed | cancelled; a queued job may also go straight to
-// cancelled (DELETE before a worker claims it) and a cache hit is born
-// done.
+// cancelled (DELETE before a worker claims it), a cache hit is born
+// done, and a transiently failed run may loop running → queued up to the
+// retry bound before settling.
 type State string
 
 // Job lifecycle states.
@@ -48,6 +50,7 @@ type Job struct {
 	state    State
 	progress float64 // 0..1, driven by the sim progress hook
 	cacheHit bool
+	attempts int // completed run attempts (retries = attempts - 1)
 	err      string
 	result   *sim.Result
 
@@ -81,16 +84,19 @@ func (j *Job) Result() (sim.Result, bool) {
 
 // JobView is the JSON projection of a job.
 type JobView struct {
-	ID        string  `json:"id"`
-	Hash      string  `json:"hash"`
-	State     State   `json:"state"`
-	Progress  float64 `json:"progress"`
-	CacheHit  bool    `json:"cache_hit"`
-	Error     string  `json:"error,omitempty"`
-	Spec      Spec    `json:"spec"`
-	Submitted string  `json:"submitted_at"`
-	Started   string  `json:"started_at,omitempty"`
-	Finished  string  `json:"finished_at,omitempty"`
+	ID       string  `json:"id"`
+	Hash     string  `json:"hash"`
+	State    State   `json:"state"`
+	Progress float64 `json:"progress"`
+	CacheHit bool    `json:"cache_hit"`
+	// Attempts counts runs of this job so far (0 while it has never been
+	// claimed; 2+ means automatic retries after transient failures).
+	Attempts  int    `json:"attempts,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Spec      Spec   `json:"spec"`
+	Submitted string `json:"submitted_at"`
+	Started   string `json:"started_at,omitempty"`
+	Finished  string `json:"finished_at,omitempty"`
 	// RunSeconds is wall-clock simulation time for finished jobs.
 	RunSeconds float64 `json:"run_seconds,omitempty"`
 }
@@ -105,6 +111,7 @@ func (j *Job) Snapshot() JobView {
 		State:     j.state,
 		Progress:  j.progress,
 		CacheHit:  j.cacheHit,
+		Attempts:  j.attempts,
 		Error:     j.err,
 		Spec:      j.spec,
 		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
@@ -136,6 +143,19 @@ type Options struct {
 	// DefaultTimeout bounds each job's run unless its spec says
 	// otherwise (0 = no limit).
 	DefaultTimeout time.Duration
+	// JobRetries bounds automatic re-runs of a job whose run failed
+	// transiently (resilience.IsTransient). Deterministic simulation
+	// errors, timeouts and panics are never retried. Default 2;
+	// negative disables retries.
+	JobRetries int
+	// Journal, when non-nil, receives an append-only record of accepted
+	// specs and terminal states, making accepted work durable across
+	// process crashes (see OpenJournal / Restore).
+	Journal *Journal
+	// Run overrides the simulation executor (nil = the built-in engine).
+	// Chaos tests wrap an executor with injected faults here; it is also
+	// the seam for alternative backends.
+	Run RunFunc
 	// Metrics receives the service metrics (nil = a private registry).
 	Metrics *Metrics
 }
@@ -147,18 +167,24 @@ type Manager struct {
 	cache *resultCache
 	met   *Metrics
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	seq    uint64
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // hash → queued/running job, for submit coalescing
+	seq      uint64
+	closed   bool
 
 	busy    int64 // workers mid-run, under mu
 	workers sync.WaitGroup
 
 	// runJob is the simulation entry point; tests substitute a stub to
 	// make scheduling behaviour observable without real simulations.
-	runJob func(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error)
+	runJob RunFunc
 }
+
+// RunFunc executes one simulation on behalf of the manager. Errors it
+// returns are classified by resilience.IsTransient to decide whether
+// the job is retried.
+type RunFunc func(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error)
 
 // NewManager builds and starts a manager; callers must Shutdown it.
 func NewManager(opts Options) *Manager {
@@ -174,16 +200,26 @@ func NewManager(opts Options) *Manager {
 	case opts.CacheEntries < 0:
 		opts.CacheEntries = 0
 	}
+	switch {
+	case opts.JobRetries == 0:
+		opts.JobRetries = 2
+	case opts.JobRetries < 0:
+		opts.JobRetries = 0
+	}
 	if opts.Metrics == nil {
 		opts.Metrics = NewMetrics()
 	}
 	m := &Manager{
-		opts:   opts,
-		queue:  newFIFO(opts.QueueDepth),
-		cache:  newResultCache(opts.CacheEntries),
-		met:    opts.Metrics,
-		jobs:   make(map[string]*Job),
-		runJob: runSpec,
+		opts:     opts,
+		queue:    newFIFO(opts.QueueDepth),
+		cache:    newResultCache(opts.CacheEntries),
+		met:      opts.Metrics,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		runJob:   runSpec,
+	}
+	if opts.Run != nil {
+		m.runJob = opts.Run
 	}
 	m.registerMetrics()
 	for i := 0; i < opts.Workers; i++ {
@@ -211,9 +247,15 @@ func (m *Manager) registerMetrics() {
 		"rrs_jobs_failed_total":    "Jobs that ended in error (timeouts included).",
 		"rrs_jobs_cancelled_total": "Jobs cancelled before completing.",
 		"rrs_jobs_rejected_total":  "Submissions refused by a full queue.",
+		"rrs_jobs_coalesced_total": "Submissions answered by an already queued or running job with the same spec hash.",
+		"rrs_jobs_restored_total":  "Jobs restored from the journal at startup (pending re-enqueues plus terminal records).",
 		"rrs_cache_hits_total":     "Submissions answered from the result cache.",
 		"rrs_cache_misses_total":   "Submissions that required a simulation.",
 		"rrs_runs_started_total":   "Simulations handed to a worker.",
+		"rrs_job_retries_total":    "Automatic re-runs of jobs whose run failed transiently.",
+		"rrs_worker_panics_total":  "Panics recovered inside a worker's simulation run.",
+		"rrs_http_panics_total":    "Panics recovered by the HTTP middleware.",
+		"rrs_journal_errors_total": "Journal append failures (the job proceeds; durability is degraded).",
 	} {
 		m.met.Counter(name, help)
 	}
@@ -264,27 +306,47 @@ func (m *Manager) countState(s State) int {
 // Metrics exposes the registry (for the HTTP layer).
 func (m *Manager) Metrics() *Metrics { return m.met }
 
+// journal appends rec if a journal is configured, degrading to a metric
+// on failure — a full disk must not take the serving path down with it.
+func (m *Manager) journal(rec journalRecord) {
+	if m.opts.Journal == nil {
+		return
+	}
+	if err := m.opts.Journal.append(rec); err != nil {
+		m.met.Inc("rrs_journal_errors_total", 1)
+	}
+}
+
 // Submit validates, hashes and enqueues spec. A cache hit returns a job
-// already in StateDone carrying the cached result; otherwise the job is
-// queued FIFO. ErrQueueFull and ErrClosed report backpressure and
-// shutdown.
+// already in StateDone carrying the cached result; a hash equal to a
+// queued or running job's coalesces onto that job (which is what makes a
+// client's retried POST after a dropped response idempotent); otherwise
+// the job is queued FIFO. ErrQueueFull and ErrClosed report backpressure
+// and shutdown.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	norm := spec.Normalize()
+	hash := norm.Hash()
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if prior, ok := m.inflight[hash]; ok {
+		m.mu.Unlock()
+		m.met.Inc("rrs_jobs_submitted_total", 1)
+		m.met.Inc("rrs_jobs_coalesced_total", 1)
+		return prior, nil
+	}
 	m.seq++
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", m.seq),
 		seq:       m.seq,
 		spec:      norm,
-		hash:      norm.Hash(),
+		hash:      hash,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -304,6 +366,8 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		j.result = &res
 		j.finished = time.Now()
 		j.mu.Unlock()
+		// Cache-hit jobs are not journaled: their result is already
+		// durable under the record of the job that computed it.
 		close(j.done)
 		return j, nil
 	}
@@ -319,6 +383,10 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mu.Unlock()
 		return nil, err
 	}
+	m.mu.Lock()
+	m.inflight[j.hash] = j
+	m.mu.Unlock()
+	m.journal(acceptedRecord(j))
 	return j, nil
 }
 
@@ -357,6 +425,8 @@ func (m *Manager) Cancel(id string) (ok bool, err error) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.mu.Unlock()
+		m.retire(j)
+		m.journal(terminalRecord(j))
 		close(j.done)
 		m.met.Inc("rrs_jobs_cancelled_total", 1)
 		return true, nil
@@ -387,6 +457,7 @@ func (m *Manager) Remove(id string) error {
 	m.mu.Lock()
 	delete(m.jobs, id)
 	m.mu.Unlock()
+	m.journal(journalRecord{Type: recRemoved, ID: id})
 	return nil
 }
 
@@ -401,6 +472,16 @@ func (m *Manager) RunSync(ctx context.Context, spec Spec) (sim.Result, error) {
 	case <-j.Done():
 	case <-ctx.Done():
 		m.Cancel(j.ID())
+		// The context may have expired in the same instant the job
+		// finished; a completed result beats a context error.
+		select {
+		case <-j.Done():
+			if v := j.Snapshot(); v.State == StateDone {
+				res, _ := j.Result()
+				return res, nil
+			}
+		default:
+		}
 		return sim.Result{}, ctx.Err()
 	}
 	v := j.Snapshot()
@@ -421,6 +502,21 @@ func (m *Manager) worker() {
 		}
 		m.runOne(j)
 	}
+}
+
+// safeRun isolates one simulation attempt: a panic in the engine (or an
+// injected chaos panic) becomes this job's error instead of the whole
+// process's crash. Panics are permanent — a deterministic engine panics
+// deterministically, so a retry would only panic again.
+func (m *Manager) safeRun(ctx context.Context, spec Spec,
+	progress func(done, total int64)) (res sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.met.Inc("rrs_worker_panics_total", 1)
+			err = fmt.Errorf("service: worker panic: %v", r)
+		}
+	}()
+	return m.runJob(ctx, spec, progress)
 }
 
 // runOne executes one claimed job through its lifecycle.
@@ -445,6 +541,7 @@ func (m *Manager) runOne(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.attempts++
 	j.cancel = cancel
 	j.mu.Unlock()
 
@@ -470,7 +567,7 @@ func (m *Manager) runOne(j *Job) {
 		j.mu.Unlock()
 	}
 
-	res, err := m.runJob(ctx, j.spec, progress)
+	res, err := m.safeRun(ctx, j.spec, progress)
 
 	m.mu.Lock()
 	m.busy--
@@ -492,10 +589,51 @@ func (m *Manager) runOne(j *Job) {
 	case errors.Is(err, context.DeadlineExceeded):
 		m.finish(j, StateFailed, fmt.Sprintf("timed out after %s", timeout))
 		m.met.Inc("rrs_jobs_failed_total", 1)
+	case resilience.IsTransient(err) && m.requeue(j, err):
+		// Re-enqueued for another attempt; not terminal yet.
 	default:
 		m.finish(j, StateFailed, err.Error())
 		m.met.Inc("rrs_jobs_failed_total", 1)
 	}
+}
+
+// requeue sends a transiently failed job back to the queue for another
+// attempt, if the retry budget and the queue allow it. It reports false
+// when the job must fail permanently instead.
+func (m *Manager) requeue(j *Job, cause error) bool {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return false
+	}
+	j.mu.Lock()
+	if j.state != StateRunning || j.attempts > m.opts.JobRetries {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateQueued
+	j.cancel = nil
+	j.progress = 0
+	j.mu.Unlock()
+	if err := m.queue.Push(j); err != nil {
+		// No queue slot for the retry: surface the original failure.
+		m.finish(j, StateFailed, fmt.Sprintf("%v (retry abandoned: %v)", cause, err))
+		m.met.Inc("rrs_jobs_failed_total", 1)
+		return true // terminal state reached here; caller must not double-finish
+	}
+	m.met.Inc("rrs_job_retries_total", 1)
+	return true
+}
+
+// retire drops j from the submit-coalescing index once it can no longer
+// absorb duplicate submissions.
+func (m *Manager) retire(j *Job) {
+	m.mu.Lock()
+	if m.inflight[j.hash] == j {
+		delete(m.inflight, j.hash)
+	}
+	m.mu.Unlock()
 }
 
 // finish moves j to a terminal state exactly once.
@@ -516,6 +654,8 @@ func (m *Manager) finish(j *Job, state State, errMsg string, result ...*sim.Resu
 		}
 	}
 	j.mu.Unlock()
+	m.retire(j)
+	m.journal(terminalRecord(j))
 	close(j.done)
 }
 
