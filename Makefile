@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick vet lint race chaos fuzz serve experiments examples clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard paranoid vet lint race chaos fuzz serve experiments examples clean
 
 all: build lint test
 
@@ -28,6 +28,16 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# paranoid is the full self-verification battery: the whole test suite
+# under the race detector with the runtime invariant checks forced on
+# (RRS_PARANOID=1 routes every sim.Run through the structural sweeps and
+# shadow-model oracles), then the fault-injection suite, which proves
+# each corruption class the structure packages can express is detected
+# as a typed invariant violation.
+paranoid:
+	RRS_PARANOID=1 $(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/invariant/
+
 # chaos soaks the serving layer's failure handling under the race
 # detector: fault-injected sweeps, journal crash/replay, panic
 # isolation. Repeated (-count=2) to shake out ordering luck.
@@ -51,6 +61,16 @@ bench:
 # bench-quick is the CI smoke subset (fails on any stat drift).
 bench-quick:
 	$(GO) run ./cmd/rrs-bench -quick -pins cmd/rrs-bench/pins.json -out bench-quick.json
+
+# bench-guard is bench-quick plus a throughput floor: with the paranoid
+# checks off (the default), the geomean sim rate must stay within 2% of
+# the BENCH_PR2.json baseline — the self-verification layer must cost
+# nothing when disabled. The quick sims are sub-second, so the guard
+# takes the fastest of 7 repetitions to keep scheduler noise from
+# tripping a floor meant to catch code regressions.
+bench-guard:
+	$(GO) run ./cmd/rrs-bench -quick -reps 7 -pins cmd/rrs-bench/pins.json \
+		-baseline BENCH_PR2.json -min-speedup 0.98 -out bench-quick.json
 
 # One benchmark per table/figure of the paper.
 bench-figures:

@@ -120,6 +120,7 @@ func main() {
 	pins := flag.String("pins", "", "pins file to check deterministic stats against")
 	writePins := flag.Bool("write-pins", false, "rewrite the pins file from this run instead of checking")
 	baseline := flag.String("baseline", "", "prior rrs-bench report to compute speedup against")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail if the geomean speedup vs -baseline is below this (e.g. 0.98 tolerates a 2% regression)")
 	flag.Parse()
 
 	sims := pinnedSims
@@ -162,6 +163,12 @@ func main() {
 		if err := applyBaseline(&rep, *baseline); err != nil {
 			fatalf("baseline: %v", err)
 		}
+		if *minSpeedup > 0 && rep.SpeedupVsBaseline < *minSpeedup {
+			fatalf("speedup %.3fx vs %s is below the -min-speedup floor %.3fx",
+				rep.SpeedupVsBaseline, *baseline, *minSpeedup)
+		}
+	} else if *minSpeedup > 0 {
+		fatalf("-min-speedup needs -baseline")
 	}
 
 	if *pins != "" {
@@ -364,7 +371,7 @@ func splitmixNext(s *uint64) uint64 {
 }
 
 func benchDRAMActivate(b *testing.B) {
-	sys := dram.New(config.Default())
+	sys := dram.MustNew(config.Default())
 	id := dram.BankID{}
 	s := uint64(benchSeed)
 	b.ReportAllocs()
@@ -378,7 +385,7 @@ func benchDRAMActivate(b *testing.B) {
 }
 
 func benchDRAMRowContent(b *testing.B) {
-	sys := dram.New(config.Default())
+	sys := dram.MustNew(config.Default())
 	id := dram.BankID{}
 	s := uint64(benchSeed)
 	for i := 0; i < benchRows/2; i++ {
@@ -395,7 +402,10 @@ func benchDRAMRowContent(b *testing.B) {
 }
 
 func benchCAMObserve(b *testing.B) {
-	cam := tracker.NewCAM(128, 1<<62)
+	cam, err := tracker.NewCAM(128, 1<<62)
+	if err != nil {
+		b.Fatal(err)
+	}
 	s := uint64(benchSeed)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -406,7 +416,10 @@ func benchCAMObserve(b *testing.B) {
 
 func benchCATObserve(b *testing.B) {
 	// The paper's tracker geometry: 2 tables x 64 sets x (14+6) ways.
-	ct := tracker.NewCAT(cat.Spec{Sets: 64, Ways: 20}, 2*64*14, 1<<62, benchSeed)
+	ct, err := tracker.NewCAT(cat.Spec{Sets: 64, Ways: 20}, 2*64*14, 1<<62, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
 	s := uint64(benchSeed)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -418,7 +431,10 @@ func benchCATObserve(b *testing.B) {
 func benchRITRemap(b *testing.B) {
 	// The paper's RIT geometry: 2 tables x 256 sets x 20 ways, 3.4K
 	// tuples; half-full so Remap sees both hits and misses.
-	r := rit.New(cat.Spec{Sets: 256, Ways: 20}, 3400, benchSeed)
+	r, err := rit.New(cat.Spec{Sets: 256, Ways: 20}, 3400, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
 	s := uint64(benchSeed)
 	for installed := 0; installed < 1700; {
 		x := splitmixNext(&s) % benchRows
@@ -426,7 +442,9 @@ func benchRITRemap(b *testing.B) {
 		if r.Contains(x) || r.Contains(y) {
 			continue
 		}
-		if _, _, _, ok := r.Install(x, y); ok {
+		if _, ok, err := r.Install(x, y); err != nil {
+			b.Fatal(err)
+		} else if ok {
 			installed++
 		}
 	}
@@ -442,7 +460,7 @@ func benchRITRemap(b *testing.B) {
 
 func benchMemctrlAccess(b *testing.B) {
 	cfg := config.Default().Scaled(32)
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	factory, err := service.MitigationFactory(service.MitRRS, 32, 0)
 	if err != nil {
 		b.Fatal(err)

@@ -53,6 +53,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
 		jobRetries   = flag.Int("job-retries", 2, "automatic retries for transiently failed runs (-1 disables)")
 		journalPath  = flag.String("journal", "", "durable job journal path (JSONL WAL; empty disables durability)")
+		paranoid     = flag.Bool("paranoid", false, "force every job to run with the self-verification layer (stats unchanged; results gain an invariant summary)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		JobRetries:     *jobRetries,
 		Journal:        journal,
+		ForceParanoid:  *paranoid,
 	})
 	if replayed != nil {
 		if err := mgr.Restore(replayed); err != nil {

@@ -36,6 +36,8 @@ func main() {
 		epochs    = flag.Int("epochs", 2, "simulated epochs")
 		seed      = flag.Uint64("seed", 1, "trace seed")
 		blacklist = flag.Uint("blacklist", 512, "BlockHammer blacklist threshold (at full scale)")
+		paranoid  = flag.Bool("paranoid", false, "run with the self-verification layer: invariant sweeps and shadow-model oracles (stats are bit-identical)")
+		maxSteps  = flag.Int64("max-steps", 0, "abort after this many memory accesses (0 = unlimited)")
 		list      = flag.Bool("list", false, "list catalog workloads and exit")
 	)
 	flag.Parse()
@@ -59,6 +61,8 @@ func main() {
 		Scale:      *scale,
 		Epochs:     *epochs,
 		Seed:       *seed,
+		Paranoid:   *paranoid,
+		MaxSteps:   *maxSteps,
 	}
 	opts, err := spec.Options()
 	if err != nil {
@@ -99,6 +103,13 @@ func main() {
 		st := b.Stats()
 		fmt.Printf("\nBlockHammer: blacklisted ACTs %d, delay cycles %d (tDelay %d)\n",
 			st.BlacklistedActs, st.DelayCycles, b.TDelay())
+	}
+	if inv := res.Invariants; inv != nil {
+		fmt.Printf("\nself-verification: %d invariant checks across %d catalog entries, %d violation(s)\n",
+			inv.Checks, len(inv.PerCheck), inv.Violations)
+		if inv.FirstViolation != "" {
+			fmt.Printf("first violation: %s\n", inv.FirstViolation)
+		}
 	}
 }
 

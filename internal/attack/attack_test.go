@@ -61,7 +61,7 @@ func blockhammerDefense(sys *dram.System) memctrl.Mitigation {
 // --- Fault model unit tests ---
 
 func TestFaultModelDistanceOneAccumulates(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	fm := NewFaultModel(sys, 48, -1)
 	id := dram.BankID{}
 	for i := 0; i < 10; i++ {
@@ -79,7 +79,7 @@ func TestFaultModelDistanceOneAccumulates(t *testing.T) {
 }
 
 func TestFaultModelActivationRestoresOwnRow(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	fm := NewFaultModel(sys, 48, -1)
 	id := dram.BankID{}
 	for i := 0; i < 10; i++ {
@@ -96,7 +96,7 @@ func TestFaultModelActivationRestoresOwnRow(t *testing.T) {
 }
 
 func TestFaultModelDistanceTwoCoupling(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	fm := NewFaultModel(sys, 48, 0.01)
 	id := dram.BankID{}
 	for i := 0; i < 100; i++ {
@@ -108,7 +108,7 @@ func TestFaultModelDistanceTwoCoupling(t *testing.T) {
 }
 
 func TestFaultModelFlipAtThreshold(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	fm := NewFaultModel(sys, 48, -1)
 	id := dram.BankID{}
 	for i := 0; i < 48; i++ {
@@ -129,7 +129,7 @@ func TestFaultModelFlipAtThreshold(t *testing.T) {
 }
 
 func TestFaultModelEpochResetPreventsSlowAccumulation(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	fm := NewFaultModel(sys, 48, -1)
 	id := dram.BankID{}
 	for epoch := 0; epoch < 4; epoch++ {
@@ -145,7 +145,7 @@ func TestFaultModelEpochResetPreventsSlowAccumulation(t *testing.T) {
 
 func TestFaultModelEdgeRows(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	fm := NewFaultModel(sys, 48, 0.01)
 	id := dram.BankID{}
 	// Rows at both edges must not fault on out-of-range neighbours.
@@ -158,7 +158,7 @@ func TestFaultModelEdgeRows(t *testing.T) {
 
 func TestFaultModelDefaultThresholdFromConfig(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	fm := NewFaultModel(sys, 0, 0)
 	if want := DoubleSidedFactor * float64(cfg.RowHammerThreshold); fm.TRH != want {
 		t.Fatalf("TRH = %v, want %v", fm.TRH, want)

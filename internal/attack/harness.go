@@ -104,7 +104,7 @@ func (r Result) Defended() bool { return r.Flips == 0 }
 // defense. trh/alpha2 follow NewFaultModel semantics.
 func NewSystem(cfg config.Config, trh, alpha2 float64,
 	mitigation func(*dram.System) memctrl.Mitigation) (*memctrl.Controller, *FaultModel) {
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	fm := NewFaultModel(sys, trh, alpha2)
 	var mit memctrl.Mitigation = memctrl.None{}
 	if mitigation != nil {

@@ -17,7 +17,7 @@ func Example() {
 	cfg.EpochCycles = int64(cfg.TRC) * 800 // scaled epoch
 	cfg.RowHammerThreshold = 48            // T_RRS = 8
 
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	rrs, err := core.New(sys, core.DefaultParams(cfg))
 	if err != nil {
 		panic(err)

@@ -14,7 +14,7 @@ import (
 
 func newProbRRS(t *testing.T, cfg config.Config, p float64) (*RRS, *dram.System) {
 	t.Helper()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	params := DefaultParams(cfg)
 	params.SwapProbability = p
 	r, err := New(sys, params)
@@ -129,7 +129,7 @@ func TestDetectionFiresUnderChaseAttack(t *testing.T) {
 	cfg.EpochCycles = int64(cfg.TRC) * 2400
 	cfg.RowHammerThreshold = 240
 
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	fm := attack.NewFaultModel(sys, 0, attack.Alpha2For(cfg))
 	params := DefaultParams(cfg)
 	params.DetectionThreshold = 2
@@ -151,7 +151,7 @@ func TestDetectionFiresUnderChaseAttack(t *testing.T) {
 
 func TestDetectionQuietOnBenignPattern(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	params := DefaultParams(cfg)
 	params.DetectionThreshold = 3
 	r, err := New(sys, params)
@@ -184,7 +184,7 @@ func TestDetectionQuietOnBenignPattern(t *testing.T) {
 
 func TestDetectionResetsAtEpoch(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	params := DefaultParams(cfg)
 	params.DetectionThreshold = 2
 	r, err := New(sys, params)
@@ -226,7 +226,7 @@ func TestDetectionWipesDisturbance(t *testing.T) {
 	cfg.EpochCycles = int64(cfg.TRC) * 2400
 	cfg.RowHammerThreshold = 240
 
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	fm := attack.NewFaultModel(sys, 0, -1)
 	params := DefaultParams(cfg)
 	params.DetectionThreshold = 2

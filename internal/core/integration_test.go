@@ -21,7 +21,7 @@ func TestEndToEndDataIntegrityUnderAttack(t *testing.T) {
 	cfg.EpochCycles = int64(cfg.TRC) * 2400
 	cfg.RowHammerThreshold = 240
 
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestSkippedSwapGraceful(t *testing.T) {
 	cfg.EpochCycles = int64(cfg.TRC) * 800
 	cfg.RowHammerThreshold = 48
 
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +99,7 @@ func TestRRSWithFaultModelNeverFlipsBenign(t *testing.T) {
 	cfg.EpochCycles = int64(cfg.TRC) * 2400
 	cfg.RowHammerThreshold = 240
 
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	fm := attack.NewFaultModel(sys, 0, attack.Alpha2For(cfg))
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {

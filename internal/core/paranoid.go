@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/tracker"
+)
+
+// EnableParanoid attaches the runtime self-verification layer to the
+// mitigation: every bank's tracker is wrapped in the differential
+// Misra-Gries oracle (tracker.Shadow), every RIT gets its map-based
+// reference model, the DRAM system verifies swap conservation, and the
+// full structural check catalog is registered with eng. Call it on a
+// freshly constructed RRS, before any activations — the shadow models
+// start empty.
+//
+// Structural checks loop over all banks under one catalog name per
+// family, so the engine's cadence cost scales with live state, not bank
+// count times catalog size.
+func (r *RRS) EnableParanoid(eng *invariant.Engine) {
+	r.eng = eng
+	r.sys.EnableParanoid(eng)
+	for i := range r.units {
+		u := &r.units[i]
+		if u.hrt != nil {
+			u.hrt = tracker.NewShadow(u.hrt, eng)
+		}
+		u.rit.EnableShadow(eng)
+	}
+	eng.Register("rit/structure", func() error {
+		for i := range r.units {
+			if err := r.units[i].rit.CheckInvariants(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	eng.Register("rit/shadow", func() error {
+		for i := range r.units {
+			if err := r.units[i].rit.VerifyShadow(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	eng.Register("tracker/structure", func() error {
+		for i := range r.units {
+			if sc, ok := r.units[i].hrt.(tracker.SelfChecker); ok {
+				if err := sc.CheckInvariants(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	eng.Register("tracker/shadow", func() error {
+		for i := range r.units {
+			if sh, ok := r.units[i].hrt.(*tracker.Shadow); ok {
+				if err := sh.Verify(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	eng.Register("dram/structure", r.sys.CheckInvariants)
+}
+
+// fail latches the first structural error the mitigation hit (a typed
+// RIT install error) and forwards it to the invariant engine if one is
+// attached.
+func (r *RRS) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	if r.eng != nil {
+		r.eng.Report(err)
+	}
+}
+
+// Err returns the first structural error the mitigation or its invariant
+// engine latched, or nil. The simulation loop polls it so a violation
+// fails the run with a diagnosable report instead of continuing on
+// corrupt state.
+func (r *RRS) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.eng != nil {
+		return r.eng.Err()
+	}
+	return nil
+}

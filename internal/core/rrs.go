@@ -20,6 +20,7 @@ import (
 	"repro/internal/cat"
 	"repro/internal/config"
 	"repro/internal/dram"
+	"repro/internal/invariant"
 	"repro/internal/memctrl"
 	"repro/internal/prince"
 	"repro/internal/rit"
@@ -182,6 +183,10 @@ type RRS struct {
 	// cycleBuf is scratch for the reswap 4-row cycle, reused so the hot
 	// path performs no allocations (CycleRows does not retain the slice).
 	cycleBuf [4]int
+	// eng is the paranoid-mode invariant engine (nil when disabled); err
+	// latches the first structural error the mitigation itself hit.
+	eng *invariant.Engine
+	err error
 }
 
 var _ memctrl.Mitigation = (*RRS)(nil)
@@ -211,13 +216,25 @@ func New(sys *dram.System, params Params) (*RRS, error) {
 		case params.SwapProbability > 0:
 			// Probabilistic variant: no tracker.
 		case params.UseCAMTracker:
-			hrt = tracker.NewCAM(params.TrackerEntries, params.SwapThreshold)
+			cam, err := tracker.NewCAM(params.TrackerEntries, params.SwapThreshold)
+			if err != nil {
+				return nil, err
+			}
+			hrt = cam
 		default:
-			hrt = tracker.NewCAT(trackerSpec, params.TrackerEntries, params.SwapThreshold, seeds.Next())
+			ct, err := tracker.NewCAT(trackerSpec, params.TrackerEntries, params.SwapThreshold, seeds.Next())
+			if err != nil {
+				return nil, err
+			}
+			hrt = ct
+		}
+		rt, err := rit.New(ritSpec, params.RITTuples, seeds.Next())
+		if err != nil {
+			return nil, err
 		}
 		r.units[i] = bankUnit{
 			hrt: hrt,
-			rit: rit.New(ritSpec, params.RITTuples, seeds.Next()),
+			rit: rt,
 			rng: prince.NewCTR(seeds.Next(), seeds.Next()),
 		}
 		if params.DetectionThreshold > 0 {
@@ -344,11 +361,16 @@ func (r *RRS) swap(u *bankUnit, id dram.BankID, row uint64, now int64) int64 {
 		r.stats.SkippedSwaps++
 		return 0
 	}
-	evX, evY, evicted, ok := u.rit.Install(row, dest)
+	ev, ok, err := u.rit.Install(row, dest)
+	if err != nil {
+		r.fail(err)
+		r.stats.SkippedSwaps++
+		return 0
+	}
 	var ops int64
-	if evicted {
+	if ev.Happened {
 		// The evicted stale tuple's rows are un-swapped (restored home).
-		r.sys.SwapRows(id, int(evX), int(evY), now)
+		r.sys.SwapRows(id, int(ev.X), int(ev.Y), now)
 		r.stats.EvictionUnswaps++
 		ops++
 	}
@@ -386,9 +408,15 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 	// Update the RIT first; data moves only once both tuples are in.
 	u.rit.Remove(row)
 	var ops int64
-	evX, evY, evicted, ok := u.rit.Install(row, destA)
-	if evicted {
-		r.sys.SwapRows(id, int(evX), int(evY), now)
+	ev, ok, err := u.rit.Install(row, destA)
+	if err != nil {
+		r.fail(err)
+		r.restoreTuple(u, id, row, partner, now)
+		r.stats.SkippedSwaps++
+		return 0
+	}
+	if ev.Happened {
+		r.sys.SwapRows(id, int(ev.X), int(ev.Y), now)
 		r.stats.EvictionUnswaps++
 		ops++
 	}
@@ -397,9 +425,16 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 		r.stats.SkippedSwaps++
 		return ops
 	}
-	evX, evY, evicted, ok = u.rit.Install(partner, destB)
-	if evicted {
-		r.sys.SwapRows(id, int(evX), int(evY), now)
+	ev, ok, err = u.rit.Install(partner, destB)
+	if err != nil {
+		r.fail(err)
+		u.rit.Remove(row) // undo <row,destA>
+		r.restoreTuple(u, id, row, partner, now)
+		r.stats.SkippedSwaps++
+		return ops
+	}
+	if ev.Happened {
+		r.sys.SwapRows(id, int(ev.X), int(ev.Y), now)
 		r.stats.EvictionUnswaps++
 		ops++
 	}
@@ -424,7 +459,11 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 // conflict, ~1e30 installs at paper sizing), the rows are physically
 // swapped home instead so data stays consistent.
 func (r *RRS) restoreTuple(u *bankUnit, id dram.BankID, row, partner uint64, now int64) {
-	if _, _, _, ok := u.rit.Install(row, partner); !ok {
+	_, ok, err := u.rit.Install(row, partner)
+	if err != nil {
+		r.fail(err)
+	}
+	if !ok || err != nil {
 		r.sys.SwapRows(id, int(row), int(partner), now)
 	}
 }

@@ -21,7 +21,7 @@ func testConfig() config.Config {
 
 func newRRS(t *testing.T, cfg config.Config) (*RRS, *dram.System) {
 	t.Helper()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -295,7 +295,7 @@ func TestActivateDelayAlwaysZero(t *testing.T) {
 
 func TestInvalidThresholdRejected(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	_, err := New(sys, Params{SwapThreshold: 0})
 	if err == nil {
 		t.Fatal("expected error for zero threshold")
@@ -304,7 +304,7 @@ func TestInvalidThresholdRejected(t *testing.T) {
 
 func TestCAMTrackerVariant(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	p := DefaultParams(cfg)
 	p.UseCAMTracker = true
 	r, err := New(sys, p)
@@ -324,7 +324,7 @@ func TestCAMTrackerVariant(t *testing.T) {
 // hammering one row via Access must trigger swaps and block the channel.
 func TestThroughController(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -354,7 +354,7 @@ func TestThroughController(t *testing.T) {
 func TestInvariant2DestinationCold(t *testing.T) {
 	cfg := testConfig()
 	cfg.RowsPerBank = 4096 // bank rows must dwarf HRT+RIT residency
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -402,7 +402,7 @@ func TestInvariant2DestinationCold(t *testing.T) {
 func BenchmarkOnActivateNoSwap(b *testing.B) {
 	cfg := config.Default()
 	cfg.RowsPerBank = 8 << 10
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	r, err := New(sys, DefaultParams(cfg))
 	if err != nil {
 		b.Fatal(err)

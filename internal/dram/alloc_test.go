@@ -8,7 +8,7 @@ import "testing"
 // activation ledger are materialized by the warm-up pass; afterwards the
 // access path must never touch the heap.
 func TestHotPathAllocFree(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{}
 	for r := 0; r < 1<<10; r++ {
 		s.SetRowContent(id, r, uint64(r))

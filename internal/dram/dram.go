@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/invariant"
 )
 
 // NoRow marks a closed row buffer.
@@ -89,6 +90,15 @@ type System struct {
 	denseRows  int     // rows per bank covered by the dense content tier
 	listeners  []ActListener
 	epochHooks []func()
+
+	// eng, when non-nil, receives swap-conservation violations: each
+	// SwapRows/CycleRows re-reads the involved rows after the transfer
+	// and compares against the contents captured before it. swapChecks
+	// tallies those verifications; tearNextSwap is the fault-injection
+	// hook that skips one write so the check provably fires.
+	eng          *invariant.Engine
+	swapChecks   int64
+	tearNextSwap bool
 }
 
 // maxDenseContentRows bounds the dense content tier per bank (8 MB of
@@ -96,10 +106,11 @@ type System struct {
 // only far larger experimental geometries ever reach the overflow map.
 const maxDenseContentRows = 1 << 20
 
-// New creates a DRAM system for the given configuration.
-func New(cfg config.Config) *System {
+// New creates a DRAM system for the given configuration. The error wraps
+// invariant.ErrBadGeometry when the configuration fails validation.
+func New(cfg config.Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("dram: %w: %v", invariant.ErrBadGeometry, err)
 	}
 	n := cfg.Channels * cfg.Ranks * cfg.Banks
 	s := &System{
@@ -115,6 +126,16 @@ func New(cfg config.Config) *System {
 	for i := range s.banks {
 		s.banks[i].OpenRow = NoRow
 		s.banks[i].acts = make([]int32, cfg.RowsPerBank)
+	}
+	return s, nil
+}
+
+// MustNew is New for callers with statically valid configurations (tests,
+// benchmarks); it panics on error.
+func MustNew(cfg config.Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -326,7 +347,11 @@ func (s *System) SwapRows(id BankID, rowX, rowY int, now int64) {
 	x := s.RowContent(id, rowX)
 	y := s.RowContent(id, rowY)
 	s.SetRowContent(id, rowX, y)
-	s.SetRowContent(id, rowY, x)
+	if s.tearNextSwap {
+		s.tearNextSwap = false
+	} else {
+		s.SetRowContent(id, rowY, x)
+	}
 	// Read and write activations for both rows.
 	s.Activate(id, rowX, now)
 	s.Activate(id, rowY, now)
@@ -335,6 +360,17 @@ func (s *System) SwapRows(id BankID, rowX, rowY int, now int64) {
 	// The paper closes the row buffer after a swap so the destination
 	// cannot be inferred from row-buffer timing.
 	s.BankState(id).OpenRow = NoRow
+	if s.eng != nil {
+		s.swapChecks++
+		if got := s.RowContent(id, rowX); got != y {
+			s.eng.Report(invariant.Violatedf("dram/swap-conservation",
+				"%v: after swap, row %d holds %#x, expected row %d's prior content %#x", id, rowX, got, rowY, y))
+		}
+		if got := s.RowContent(id, rowY); got != x {
+			s.eng.Report(invariant.Violatedf("dram/swap-conservation",
+				"%v: after swap, row %d holds %#x, expected row %d's prior content %#x", id, rowY, got, rowX, x))
+		}
+	}
 }
 
 // CycleRows rotates the contents of the given physical rows: row[i]'s data
@@ -347,6 +383,13 @@ func (s *System) CycleRows(id BankID, rows []int, now int64) {
 	if len(rows) < 2 {
 		return
 	}
+	var before []uint64
+	if s.eng != nil {
+		before = make([]uint64, len(rows))
+		for i, r := range rows {
+			before[i] = s.RowContent(id, r)
+		}
+	}
 	last := s.RowContent(id, rows[len(rows)-1])
 	for i := len(rows) - 1; i > 0; i-- {
 		s.SetRowContent(id, rows[i], s.RowContent(id, rows[i-1]))
@@ -357,6 +400,16 @@ func (s *System) CycleRows(id BankID, rows []int, now int64) {
 		s.Activate(id, r, now)
 	}
 	s.BankState(id).OpenRow = NoRow
+	if s.eng != nil {
+		s.swapChecks++
+		for i, r := range rows {
+			want := before[(i+len(rows)-1)%len(rows)]
+			if got := s.RowContent(id, r); got != want {
+				s.eng.Report(invariant.Violatedf("dram/swap-conservation",
+					"%v: after %d-row cycle, row %d holds %#x, expected %#x", id, len(rows), r, got, want))
+			}
+		}
+	}
 }
 
 func identityTag(id BankID, row int) uint64 {

@@ -14,7 +14,7 @@ func testConfig() config.Config {
 }
 
 func TestDecodeEncodeRoundTrip(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	lines := uint64(s.Config().TotalRows()) * uint64(s.Config().RowBytes/s.Config().LineBytes)
 	f := func(raw uint64) bool {
 		line := raw % lines
@@ -26,7 +26,7 @@ func TestDecodeEncodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeConsecutiveLinesShareRow(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	a0 := s.Decode(0)
 	a1 := s.Decode(1)
 	if a0.Row != a1.Row || a0.BankID != a1.BankID {
@@ -38,7 +38,7 @@ func TestDecodeConsecutiveLinesShareRow(t *testing.T) {
 }
 
 func TestDecodeRowCrossingChangesChannel(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	linesPerRow := uint64(s.Config().RowBytes / s.Config().LineBytes)
 	a := s.Decode(linesPerRow - 1)
 	b := s.Decode(linesPerRow)
@@ -48,7 +48,7 @@ func TestDecodeRowCrossingChangesChannel(t *testing.T) {
 }
 
 func TestDecodeFieldsInRange(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	cfg := s.Config()
 	for line := uint64(0); line < 100000; line += 97 {
 		a := s.Decode(line)
@@ -63,7 +63,7 @@ func TestDecodeFieldsInRange(t *testing.T) {
 }
 
 func TestActivateCountsPerEpoch(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{Channel: 0, Rank: 0, Bank: 3}
 	for i := 0; i < 5; i++ {
 		s.Activate(id, 7, int64(i))
@@ -91,7 +91,7 @@ func TestActivateCountsPerEpoch(t *testing.T) {
 }
 
 func TestActivateOpensRow(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{}
 	s.Activate(id, 42, 0)
 	if s.BankState(id).OpenRow != 42 {
@@ -116,7 +116,7 @@ func (r *recordingListener) OnActivate(id BankID, row int, now int64) {
 }
 
 func TestSubscribeNotifiesActivations(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	l := &recordingListener{}
 	s.Subscribe(l)
 	id := BankID{Channel: 1, Bank: 2}
@@ -131,7 +131,7 @@ func TestSubscribeNotifiesActivations(t *testing.T) {
 }
 
 func TestRowContentIdentityDefault(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	a := BankID{Channel: 1, Rank: 0, Bank: 5}
 	b := BankID{Channel: 0, Rank: 0, Bank: 5}
 	if s.RowContent(a, 10) == s.RowContent(b, 10) {
@@ -143,7 +143,7 @@ func TestRowContentIdentityDefault(t *testing.T) {
 }
 
 func TestSwapRowsMovesContent(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{Bank: 1}
 	s.SetRowContent(id, 5, 0xAAAA)
 	s.SetRowContent(id, 9, 0xBBBB)
@@ -157,7 +157,7 @@ func TestSwapRowsMovesContent(t *testing.T) {
 }
 
 func TestSwapRowsWithUntouchedRows(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{Bank: 2}
 	want5, want9 := s.RowContent(id, 5), s.RowContent(id, 9)
 	s.SwapRows(id, 5, 9, 0)
@@ -167,7 +167,7 @@ func TestSwapRowsWithUntouchedRows(t *testing.T) {
 }
 
 func TestSwapRowsActivatesBothRowsTwice(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{}
 	s.SwapRows(id, 3, 4, 0)
 	if got := s.ActCount(id, 3); got != 2 {
@@ -179,7 +179,7 @@ func TestSwapRowsActivatesBothRowsTwice(t *testing.T) {
 }
 
 func TestSwapRowsClosesRowBuffer(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	id := BankID{}
 	s.Activate(id, 7, 0)
 	s.SwapRows(id, 3, 4, 1)
@@ -190,7 +190,7 @@ func TestSwapRowsClosesRowBuffer(t *testing.T) {
 
 func TestSkipRefresh(t *testing.T) {
 	cfg := testConfig()
-	s := New(cfg)
+	s := MustNew(cfg)
 	trfc, trefi := int64(cfg.TRFC), int64(cfg.TREFI)
 	// Time inside the refresh window is pushed to its end.
 	if got := s.SkipRefresh(0); got != trfc {
@@ -206,7 +206,7 @@ func TestSkipRefresh(t *testing.T) {
 
 func TestReserveBusSerializes(t *testing.T) {
 	cfg := testConfig()
-	s := New(cfg)
+	s := MustNew(cfg)
 	t0 := s.ReserveBus(0, 100)
 	t1 := s.ReserveBus(0, 100)
 	if t0 != 100 {
@@ -222,7 +222,7 @@ func TestReserveBusSerializes(t *testing.T) {
 }
 
 func TestBlockChannelMonotone(t *testing.T) {
-	s := New(testConfig())
+	s := MustNew(testConfig())
 	s.BlockChannel(0, 500)
 	s.BlockChannel(0, 300) // must not shrink
 	if got := s.ChannelBlockedUntil(0); got != 500 {
@@ -235,7 +235,7 @@ func TestBlockChannelMonotone(t *testing.T) {
 
 func TestEachBankVisitsAll(t *testing.T) {
 	cfg := testConfig()
-	s := New(cfg)
+	s := MustNew(cfg)
 	seen := map[BankID]bool{}
 	s.EachBank(func(id BankID, b *Bank) {
 		if b == nil {

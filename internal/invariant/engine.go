@@ -1,0 +1,110 @@
+package invariant
+
+// Engine owns the runtime check catalog for one simulation run. Structure
+// packages register named structural checks (run in catalog order on every
+// RunAll) and counter sources (hot-path checkers — shadows, the swap
+// conservation verifier — that tally their own executions); violations
+// detected asynchronously on the hot path are latched via Report. The
+// first violation wins: once latched, the engine keeps returning it and
+// ignores later ones, so the report always names the earliest detected
+// corruption rather than a cascade effect.
+//
+// Engine is not safe for concurrent use; it lives on the simulation
+// goroutine, like the structures it checks.
+type Engine struct {
+	checks   []check
+	counters []counter
+	runs     map[string]int64
+	total    int64
+	first    error
+}
+
+type check struct {
+	name string
+	fn   func() error
+}
+
+type counter struct {
+	name string
+	fn   func() int64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{runs: make(map[string]int64)}
+}
+
+// Register adds a structural check under a catalog name. fn must be
+// side-effect free and return nil or an error (normally a *Violation)
+// describing the first mismatch it found.
+func (e *Engine) Register(name string, fn func() error) {
+	e.checks = append(e.checks, check{name: name, fn: fn})
+}
+
+// RegisterCounter adds a tally source for a hot-path checker, so its
+// per-event checks show up in the Summary next to the catalog checks.
+func (e *Engine) RegisterCounter(name string, fn func() int64) {
+	e.counters = append(e.counters, counter{name: name, fn: fn})
+}
+
+// Report latches an asynchronously detected violation (shadow-model
+// divergence, swap-conservation failure). The first report wins.
+func (e *Engine) Report(err error) {
+	if err != nil && e.first == nil {
+		e.first = err
+	}
+}
+
+// Err returns the first latched violation, or nil.
+func (e *Engine) Err() error { return e.first }
+
+// RunAll executes every registered structural check in catalog order,
+// counting each execution, and returns the first failure (also latching
+// it). A previously latched violation is returned without re-running.
+func (e *Engine) RunAll() error {
+	if e.first != nil {
+		return e.first
+	}
+	for _, c := range e.checks {
+		e.runs[c.name]++
+		e.total++
+		if err := c.fn(); err != nil {
+			e.Report(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary is the checked-invariant accounting a paranoid run reports in
+// its Result. PerCheck counts executions per catalog entry (structural
+// checks count RunAll passes; counter sources report their own tallies).
+type Summary struct {
+	// Checks is the total number of invariant checks executed, hot-path
+	// checks included.
+	Checks int64 `json:"checks"`
+	// PerCheck breaks Checks down by catalog name.
+	PerCheck map[string]int64 `json:"per_check,omitempty"`
+	// Violations is 0 or 1: the engine stops at the first violation.
+	Violations int `json:"violations"`
+	// FirstViolation is the latched violation's message, if any.
+	FirstViolation string `json:"first_violation,omitempty"`
+}
+
+// Summary collects the engine's accounting.
+func (e *Engine) Summary() Summary {
+	s := Summary{Checks: e.total, PerCheck: make(map[string]int64, len(e.runs)+len(e.counters))}
+	for name, n := range e.runs {
+		s.PerCheck[name] += n
+	}
+	for _, c := range e.counters {
+		n := c.fn()
+		s.PerCheck[c.name] += n
+		s.Checks += n
+	}
+	if e.first != nil {
+		s.Violations = 1
+		s.FirstViolation = e.first.Error()
+	}
+	return s
+}

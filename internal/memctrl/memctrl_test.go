@@ -15,7 +15,7 @@ func testConfig() config.Config {
 
 func newCtl(mit Mitigation) (*Controller, config.Config) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	if mit == nil {
 		mit = None{}
 	}
@@ -274,7 +274,7 @@ func (e *epochMit) OnEpoch(now int64) { e.epochs = append(e.epochs, now) }
 
 func TestEpochBoundariesFire(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	mit := &epochMit{}
 	c := New(sys, mit)
 
@@ -301,7 +301,7 @@ func TestEpochBoundariesFire(t *testing.T) {
 func TestAdvanceToIdempotent(t *testing.T) {
 	cfg := testConfig()
 	mit := &epochMit{}
-	c := New(dram.New(cfg), mit)
+	c := New(dram.MustNew(cfg), mit)
 	c.AdvanceTo(cfg.EpochCycles + 1)
 	c.AdvanceTo(cfg.EpochCycles + 2)
 	if len(mit.epochs) != 1 {
@@ -341,7 +341,7 @@ func TestNoneMitigationIsTransparent(t *testing.T) {
 // verifies no two activations of the bank are closer than tRC.
 func TestPropertyPerBankActivationSpacing(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	var actTimes []int64
 	sys.Subscribe(listenerFunc(func(_ dram.BankID, _ int, now int64) {
 		actTimes = append(actTimes, now)
@@ -373,7 +373,7 @@ func (f listenerFunc) OnActivate(id dram.BankID, row int, now int64) { f(id, row
 func TestClosedPagePolicy(t *testing.T) {
 	cfg := testConfig()
 	cfg.ClosedPage = true
-	c := New(dram.New(cfg), None{})
+	c := New(dram.MustNew(cfg), None{})
 	base := int64(cfg.TRFC) + 10
 	d0 := c.Access(lineFor(c, 1, 0), false, base)
 	// Same row again: closed-page never hits...

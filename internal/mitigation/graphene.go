@@ -43,7 +43,12 @@ func NewGraphene(sys *dram.System, threshold int64, blastRadius int, seed uint64
 	n := cfg.Channels * cfg.Ranks * cfg.Banks
 	g := &Graphene{sys: sys, cfg: cfg, units: make([]tracker.Tracker, n), blastRadius: blastRadius}
 	for i := range g.units {
-		g.units[i] = tracker.NewCAM(entries, threshold)
+		u, err := tracker.NewCAM(entries, threshold)
+		if err != nil {
+			// EntriesFor guarantees entries >= 1 and rejects threshold <= 0.
+			panic(err)
+		}
+		g.units[i] = u
 	}
 	return g
 }

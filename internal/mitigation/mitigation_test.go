@@ -29,7 +29,7 @@ func TestDefaultPARAProbability(t *testing.T) {
 }
 
 func TestPARARefreshesNeighbors(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewPARA(sys, 1.0, 1) // always refresh
 	id := dram.BankID{}
 	res := m.OnActivate(id, 100, 100, 0)
@@ -46,7 +46,7 @@ func TestPARARefreshesNeighbors(t *testing.T) {
 }
 
 func TestPARAProbabilityZeroNeverFires(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewPARA(sys, 0, 1)
 	id := dram.BankID{}
 	for i := 0; i < 1000; i++ {
@@ -57,7 +57,7 @@ func TestPARAProbabilityZeroNeverFires(t *testing.T) {
 }
 
 func TestPARAEdgeRowClamped(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewPARA(sys, 1.0, 1)
 	id := dram.BankID{}
 	m.OnActivate(id, 0, 0, 0) // row 0: only +1 neighbour exists
@@ -67,7 +67,7 @@ func TestPARAEdgeRowClamped(t *testing.T) {
 }
 
 func TestGrapheneRefreshAtThreshold(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewGraphene(sys, 8, 1, 1)
 	id := dram.BankID{}
 	for i := 0; i < 7; i++ {
@@ -90,7 +90,7 @@ func TestGrapheneRefreshAtThreshold(t *testing.T) {
 }
 
 func TestGrapheneBlastRadiusTwo(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewGraphene(sys, 4, 2, 1)
 	id := dram.BankID{}
 	for i := 0; i < 4; i++ {
@@ -107,7 +107,7 @@ func TestGrapheneBlastRadiusTwo(t *testing.T) {
 }
 
 func TestGrapheneFiresAtEveryMultiple(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewGraphene(sys, 8, 1, 1)
 	id := dram.BankID{}
 	for i := 0; i < 24; i++ {
@@ -119,7 +119,7 @@ func TestGrapheneFiresAtEveryMultiple(t *testing.T) {
 }
 
 func TestGrapheneEpochReset(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewGraphene(sys, 8, 1, 1)
 	id := dram.BankID{}
 	for i := 0; i < 7; i++ {
@@ -137,7 +137,7 @@ func TestGrapheneEpochReset(t *testing.T) {
 }
 
 func TestIdealRefreshesExactly(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewIdeal(sys, 8)
 	id := dram.BankID{}
 	for i := 0; i < 17; i++ {
@@ -152,7 +152,7 @@ func TestIdealRefreshesExactly(t *testing.T) {
 }
 
 func TestIdealFreeHasNoCost(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewIdeal(sys, 1) // fire every activation
 	id := dram.BankID{}
 	if res := m.OnActivate(id, 100, 100, 0); res.BankBlock != 0 {
@@ -166,7 +166,7 @@ func TestIdealFreeHasNoCost(t *testing.T) {
 
 func TestBlockHammerBlacklistsHotRow(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	p := DefaultBlockHammerParams()
 	p.BlacklistThreshold = 8
 	b := NewBlockHammer(sys, p)
@@ -196,7 +196,7 @@ func TestBlockHammerBlacklistsHotRow(t *testing.T) {
 
 func TestBlockHammerColdRowsUndisturbed(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	p := DefaultBlockHammerParams()
 	p.BlacklistThreshold = 8
 	b := NewBlockHammer(sys, p)
@@ -216,7 +216,7 @@ func TestBlockHammerTDelayMagnitude(t *testing.T) {
 	// At full scale, T_RH=4.8K and N_BL=512: tDelay = 64ms/1887 ~ 34us,
 	// the paper's "approximately 20 microseconds" regime (tens of us).
 	cfg := config.Default()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	b := NewBlockHammer(sys, DefaultBlockHammerParams())
 	us := float64(b.TDelay()) / (config.BusGHz * 1e3)
 	if us < 15 || us > 50 {
@@ -226,7 +226,7 @@ func TestBlockHammerTDelayMagnitude(t *testing.T) {
 
 func TestBlockHammerEpochClearsBlacklist(t *testing.T) {
 	cfg := testConfig()
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	p := DefaultBlockHammerParams()
 	p.BlacklistThreshold = 8
 	b := NewBlockHammer(sys, p)
@@ -241,7 +241,7 @@ func TestBlockHammerEpochClearsBlacklist(t *testing.T) {
 }
 
 func TestBlockHammerNeverBlocksOrRemaps(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	b := NewBlockHammer(sys, DefaultBlockHammerParams())
 	id := dram.BankID{}
 	if b.Remap(id, 7) != 7 {
@@ -258,14 +258,14 @@ func TestBlockHammerInvalidParamsPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewBlockHammer(dram.New(testConfig()), BlockHammerParams{})
+	NewBlockHammer(dram.MustNew(testConfig()), BlockHammerParams{})
 }
 
 // TestVictimRefreshDisturbsAtDistanceTwo verifies the Half-Double enabling
 // mechanism: a victim refresh is an activation, so listeners (the fault
 // model) see activity on the aggressor's neighbours.
 func TestVictimRefreshDisturbsAtDistanceTwo(t *testing.T) {
-	sys := dram.New(testConfig())
+	sys := dram.MustNew(testConfig())
 	m := NewGraphene(sys, 4, 1, 1)
 	seen := map[int]int{}
 	sys.Subscribe(listenerFunc(func(_ dram.BankID, row int, _ int64) {

@@ -80,7 +80,7 @@ func TestSRAMPowerGrowsWithSizeAndRate(t *testing.T) {
 func TestDRAMEnergyMeasure(t *testing.T) {
 	cfg := config.Default()
 	cfg.RowsPerBank = 1 << 10
-	sys := dram.New(cfg)
+	sys := dram.MustNew(cfg)
 	id := dram.BankID{}
 	for i := 0; i < 1000; i++ {
 		sys.Activate(id, i%100, int64(i))

@@ -10,9 +10,9 @@ import (
 // fast path for unswapped rows, and through the table for swapped ones —
 // performs no allocations once the table is populated.
 func TestRemapAllocFree(t *testing.T) {
-	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	r := mustNew(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
 	for i := 0; i < 3400; i++ {
-		if _, _, _, ok := r.Install(uint64(2*i), uint64(100000+2*i)); !ok {
+		if _, ok := mustInstall(r, uint64(2*i), uint64(100000+2*i)); !ok {
 			t.Fatalf("install %d failed", i)
 		}
 	}

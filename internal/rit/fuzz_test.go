@@ -16,7 +16,7 @@ func FuzzInvolution(f *testing.F) {
 	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 64, 32}, uint64(42))
 
 	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
-		r := New(cat.Spec{Sets: 8, Ways: 8}, 16, seed)
+		r := mustNew(cat.Spec{Sets: 8, Ways: 8}, 16, seed)
 		oracle := map[uint64]uint64{}
 		for i, op := range ops {
 			x := uint64(op % 20)
@@ -28,7 +28,7 @@ func FuzzInvolution(f *testing.F) {
 				if inX || inY || len(oracle)/2 >= 16 {
 					break
 				}
-				if _, _, _, ok := r.Install(x, y); ok {
+				if _, ok := mustInstall(r, x, y); ok {
 					oracle[x], oracle[y] = y, x
 				}
 			case 2:

@@ -12,15 +12,31 @@
 package rit
 
 import (
+	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cat"
+	"repro/internal/invariant"
 	"repro/internal/prince"
 )
+
+// ErrSelfSwap reports an Install of a row with itself.
+var ErrSelfSwap = errors.New("rit: cannot swap a row with itself")
+
+// ErrOccupied reports an Install over a row that is already swapped.
+var ErrOccupied = errors.New("rit: installing tuple over an existing entry")
 
 type entry struct {
 	partner uint64
 	locked  bool
+}
+
+// Eviction describes the tuple Install had to evict to make room.
+// Happened is false when no eviction was needed; X and Y are then zero.
+type Eviction struct {
+	X, Y     uint64
+	Happened bool
 }
 
 // RIT is one bank's row indirection table. The mapping it maintains is an
@@ -41,6 +57,11 @@ type RIT struct {
 	// bigRows and always take the table lookup.
 	present []uint64
 	bigRows int
+
+	// shadow, when non-nil, is the map-based reference model the paranoid
+	// mode replays every mutation into; Remap answers are cross-checked
+	// against it. The hot path pays exactly one nil test when disabled.
+	shadow *shadow
 }
 
 // maxBitsetRows bounds the presence bitset at 512 KiB so adversarial
@@ -49,19 +70,24 @@ const maxBitsetRows = 1 << 22
 
 // New creates a RIT with the given CAT geometry and tuple capacity. The
 // paper's configuration stores 3400 tuples (6800 entries) in 2 tables x
-// 256 sets x 20 ways.
-func New(spec cat.Spec, capacityTuples int, seed uint64) *RIT {
+// 256 sets x 20 ways. The error wraps invariant.ErrBadGeometry when the
+// geometry is invalid or cannot hold the requested tuples.
+func New(spec cat.Spec, capacityTuples int, seed uint64) (*RIT, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("rit: %w: %v", invariant.ErrBadGeometry, err)
+	}
 	if capacityTuples <= 0 {
-		panic("rit: capacity must be positive")
+		return nil, fmt.Errorf("rit: %w: capacity %d must be positive", invariant.ErrBadGeometry, capacityTuples)
 	}
 	if spec.Slots() < 2*capacityTuples {
-		panic(fmt.Sprintf("rit: geometry %d slots cannot hold %d tuples", spec.Slots(), capacityTuples))
+		return nil, fmt.Errorf("rit: %w: geometry %d slots cannot hold %d tuples",
+			invariant.ErrBadGeometry, spec.Slots(), capacityTuples)
 	}
 	return &RIT{
 		tab:      cat.New[entry](spec, seed),
 		capacity: capacityTuples,
 		rng:      prince.Seeded(seed ^ 0xA5A5A5A5),
-	}
+	}, nil
 }
 
 // mightContain is the bit-probe fast path: false means row is certainly
@@ -102,6 +128,9 @@ func (r *RIT) removePresent(row uint64) {
 // Remap returns the physical row currently holding row's data: its swap
 // partner if swapped, otherwise row itself.
 func (r *RIT) Remap(row uint64) uint64 {
+	if r.shadow != nil {
+		return r.remapChecked(row)
+	}
 	if !r.mightContain(row) {
 		return row
 	}
@@ -136,37 +165,41 @@ func (r *RIT) Capacity() int { return r.capacity }
 
 // Install records the swap <x,y> with the lock bit set. If the table is at
 // capacity, a random unlocked tuple is evicted first and returned so the
-// caller can un-swap its rows. ok is false only if the table is full of
-// locked tuples — a state the paper's sizing argument excludes (the tuple
-// capacity is twice the per-epoch swap bound).
-func (r *RIT) Install(x, y uint64) (evictedX, evictedY uint64, evicted, ok bool) {
+// caller can un-swap its rows. ok is false without error only on a CAT
+// conflict or when the table is full of locked tuples — states the paper's
+// sizing argument makes (astronomically) rare; the caller then skips the
+// swap. A non-nil error (ErrSelfSwap, ErrOccupied) is a caller bug.
+func (r *RIT) Install(x, y uint64) (ev Eviction, ok bool, err error) {
 	if x == y {
-		panic("rit: cannot swap a row with itself")
+		return Eviction{}, false, fmt.Errorf("%w: row %d", ErrSelfSwap, x)
 	}
 	if r.tab.Contains(x) || r.tab.Contains(y) {
-		panic("rit: installing tuple over an existing entry")
+		return Eviction{}, false, fmt.Errorf("%w: <%d,%d>", ErrOccupied, x, y)
 	}
 	if r.tuples >= r.capacity {
 		ex, ey, did := r.EvictRandomUnlocked()
 		if !did {
-			return 0, 0, false, false
+			return Eviction{}, false, nil
 		}
-		evictedX, evictedY, evicted = ex, ey, true
+		ev = Eviction{X: ex, Y: ey, Happened: true}
 	}
 	if r.tab.Install(x, entry{partner: y, locked: true}) == nil {
 		// CAT conflict (astronomically rare at 6 extra ways): fail the
 		// install; the caller skips the swap.
-		return evictedX, evictedY, evicted, false
+		return ev, false, nil
 	}
 	r.addPresent(x)
 	if r.tab.Install(y, entry{partner: x, locked: true}) == nil {
 		r.tab.Delete(x)
 		r.removePresent(x)
-		return evictedX, evictedY, evicted, false
+		return ev, false, nil
 	}
 	r.addPresent(y)
 	r.tuples++
-	return evictedX, evictedY, evicted, true
+	if sh := r.shadow; sh != nil {
+		sh.install(x, y)
+	}
+	return ev, true, nil
 }
 
 // Remove deletes the tuple containing row (both entries) and returns the
@@ -182,6 +215,9 @@ func (r *RIT) Remove(row uint64) (partner uint64, ok bool) {
 	r.removePresent(row)
 	r.removePresent(partner)
 	r.tuples--
+	if sh := r.shadow; sh != nil {
+		sh.remove(row, partner)
+	}
 	return partner, true
 }
 
@@ -201,6 +237,9 @@ func (r *RIT) EvictRandomUnlocked() (x, y uint64, ok bool) {
 	r.removePresent(x)
 	r.removePresent(y)
 	r.tuples--
+	if sh := r.shadow; sh != nil {
+		sh.evict(x, y)
+	}
 	return x, y, true
 }
 
@@ -211,6 +250,9 @@ func (r *RIT) ClearLocks() {
 		e.locked = false
 		return true
 	})
+	if sh := r.shadow; sh != nil {
+		sh.clearLocks()
+	}
 }
 
 // LockedTuples counts tuples installed in the current epoch.
@@ -235,33 +277,224 @@ func (r *RIT) ForEachTuple(fn func(x, y uint64, locked bool) bool) {
 	})
 }
 
-// CheckInvariants verifies the involution property; tests call this after
-// mutation sequences. It returns an error describing the first violation.
+// CheckInvariants verifies the structural invariants of the table and
+// returns a typed *invariant.Violation describing the first breach:
+//
+//   - rit/involution: every entry X -> Y has a reverse entry Y -> X.
+//   - rit/locks: both entries of a tuple carry the same lock bit.
+//   - rit/count: entry count equals 2x the tuple counter, which never
+//     exceeds capacity.
+//   - rit/presence: the fast-path bitset (and bigRows counter) agree
+//     exactly with table membership.
+//
+// Cost is O(entries + bitset words); the paranoid engine runs it on a
+// cadence and tests call it after mutation sequences.
 func (r *RIT) CheckInvariants() error {
-	var err error
+	var verr error
 	count := 0
+	bigSeen := 0
 	r.tab.ForEach(func(k uint64, e *entry) bool {
 		count++
+		if k >= maxBitsetRows {
+			bigSeen++
+		} else if w := k >> 6; w >= uint64(len(r.present)) || r.present[w]&(1<<(k&63)) == 0 {
+			verr = invariant.Violatedf("rit/presence", "row %d is in the table but its presence bit is clear", k)
+			return false
+		}
 		back := r.tab.Lookup(e.partner)
 		if back == nil {
-			err = fmt.Errorf("rit: entry %d -> %d has no reverse entry", k, e.partner)
+			verr = invariant.Violatedf("rit/involution", "entry %d -> %d has no reverse entry", k, e.partner)
 			return false
 		}
 		if back.partner != k {
-			err = fmt.Errorf("rit: entry %d -> %d reversed to %d", k, e.partner, back.partner)
+			verr = invariant.Violatedf("rit/involution", "entry %d -> %d reversed to %d", k, e.partner, back.partner)
 			return false
 		}
 		if back.locked != e.locked {
-			err = fmt.Errorf("rit: tuple <%d,%d> has mismatched lock bits", k, e.partner)
+			verr = invariant.Violatedf("rit/locks", "tuple <%d,%d> has mismatched lock bits", k, e.partner)
 			return false
 		}
 		return true
 	})
-	if err != nil {
-		return err
+	if verr != nil {
+		return verr
 	}
 	if count != 2*r.tuples {
-		return fmt.Errorf("rit: %d entries but %d tuples", count, r.tuples)
+		return invariant.Violatedf("rit/count", "%d entries but tuple counter says %d", count, r.tuples)
+	}
+	if r.tuples > r.capacity {
+		return invariant.Violatedf("rit/count", "%d tuples exceed capacity %d", r.tuples, r.capacity)
+	}
+	if bigSeen != r.bigRows {
+		return invariant.Violatedf("rit/presence", "bigRows counter %d, actual large-id entries %d", r.bigRows, bigSeen)
+	}
+	for w, word := range r.present {
+		for word != 0 {
+			row := uint64(w)<<6 | uint64(bits.TrailingZeros64(word))
+			if !r.tab.Contains(row) {
+				return invariant.Violatedf("rit/presence", "presence bit set for row %d, which is not in the table", row)
+			}
+			word &= word - 1
+		}
 	}
 	return nil
 }
+
+// --- Shadow reference model (paranoid mode) ---
+
+// shadow is the map-based reference RIT of the differential oracle: a
+// plain pairs map mirrored through every mutation, against which each
+// Remap answer is cross-checked. Divergence is reported to the engine at
+// the first mismatch, naming the row and both answers.
+type shadow struct {
+	eng    *invariant.Engine
+	pairs  map[uint64]uint64
+	locked map[uint64]bool
+	checks int64
+}
+
+// EnableShadow attaches the reference model, seeded from the current
+// table contents, and registers its per-remap check tally with eng.
+// Violations the shadow detects are latched into eng.
+func (r *RIT) EnableShadow(eng *invariant.Engine) {
+	sh := &shadow{
+		eng:    eng,
+		pairs:  make(map[uint64]uint64),
+		locked: make(map[uint64]bool),
+	}
+	r.tab.ForEach(func(k uint64, e *entry) bool {
+		sh.pairs[k] = e.partner
+		sh.locked[k] = e.locked
+		return true
+	})
+	r.shadow = sh
+	eng.RegisterCounter("rit/shadow", func() int64 { return sh.checks })
+}
+
+func (sh *shadow) install(x, y uint64) {
+	sh.pairs[x], sh.pairs[y] = y, x
+	sh.locked[x], sh.locked[y] = true, true
+}
+
+func (sh *shadow) remove(row, partner uint64) {
+	if p, ok := sh.pairs[row]; !ok || p != partner {
+		sh.eng.Report(invariant.Violatedf("rit/shadow",
+			"Remove(%d) deleted partner %d; reference model has %d (present=%v)", row, partner, p, ok))
+	}
+	delete(sh.pairs, row)
+	delete(sh.pairs, partner)
+	delete(sh.locked, row)
+	delete(sh.locked, partner)
+}
+
+func (sh *shadow) evict(x, y uint64) {
+	if sh.locked[x] || sh.locked[y] {
+		sh.eng.Report(invariant.Violatedf("rit/shadow",
+			"evicted tuple <%d,%d> is locked in the reference model", x, y))
+	}
+	sh.remove(x, y)
+}
+
+func (sh *shadow) clearLocks() {
+	for k := range sh.locked {
+		sh.locked[k] = false
+	}
+}
+
+// remapChecked answers Remap through the real lookup path and cross-checks
+// the answer against the reference model.
+func (r *RIT) remapChecked(row uint64) uint64 {
+	got := row
+	if r.mightContain(row) {
+		if e := r.tab.Lookup(row); e != nil {
+			got = e.partner
+		}
+	}
+	sh := r.shadow
+	sh.checks++
+	want := row
+	if p, ok := sh.pairs[row]; ok {
+		want = p
+	}
+	if got != want {
+		sh.eng.Report(invariant.Violatedf("rit/shadow",
+			"Remap(%d) = %d, reference model says %d", row, got, want))
+	}
+	return got
+}
+
+// VerifyShadow sweeps the reference model against the table: every
+// reference pair must be stored with a matching lock bit, and the entry
+// counts must agree. It returns nil when no shadow is attached.
+func (r *RIT) VerifyShadow() error {
+	sh := r.shadow
+	if sh == nil {
+		return nil
+	}
+	for k, want := range sh.pairs {
+		e := r.tab.Lookup(k)
+		if e == nil {
+			return invariant.Violatedf("rit/shadow", "reference pair %d -> %d missing from the table", k, want)
+		}
+		if e.partner != want {
+			return invariant.Violatedf("rit/shadow", "table maps %d -> %d, reference model says %d", k, e.partner, want)
+		}
+		if e.locked != sh.locked[k] {
+			return invariant.Violatedf("rit/shadow", "lock bit of %d is %v in the table, %v in the reference model", k, e.locked, sh.locked[k])
+		}
+	}
+	if got := 2 * r.tuples; got != len(sh.pairs) {
+		return invariant.Violatedf("rit/shadow", "table holds %d entries, reference model %d", got, len(sh.pairs))
+	}
+	return nil
+}
+
+// --- Test-only state corruption hooks ---
+//
+// The fault-injection suite flips bits in the RIT's redundant state
+// through these narrow mutators to prove CheckInvariants/VerifyShadow
+// detect every corruption class. Never call them from production code.
+
+// CorruptPartnerForTest rewrites row's stored partner pointer (one
+// direction only, breaking the involution), reporting whether row was
+// present.
+func (r *RIT) CorruptPartnerForTest(row, newPartner uint64) bool {
+	e := r.tab.Lookup(row)
+	if e == nil {
+		return false
+	}
+	e.partner = newPartner
+	return true
+}
+
+// CorruptLockForTest flips row's lock bit (one direction only, breaking
+// lock parity), reporting whether row was present.
+func (r *RIT) CorruptLockForTest(row uint64) bool {
+	e := r.tab.Lookup(row)
+	if e == nil {
+		return false
+	}
+	e.locked = !e.locked
+	return true
+}
+
+// CorruptTuplesForTest skews the tuple counter.
+func (r *RIT) CorruptTuplesForTest(delta int) { r.tuples += delta }
+
+// CorruptPresenceForTest flips row's presence bit (growing the bitset if
+// needed). It only handles rows under the bitset bound.
+func (r *RIT) CorruptPresenceForTest(row uint64) {
+	if row >= maxBitsetRows {
+		return
+	}
+	w := row >> 6
+	if w >= uint64(len(r.present)) {
+		grown := make([]uint64, 2*(w+1))
+		copy(grown, r.present)
+		r.present = grown
+	}
+	r.present[w] ^= 1 << (row & 63)
+}
+
+// CorruptBigRowsForTest skews the large-id entry counter.
+func (r *RIT) CorruptBigRowsForTest(delta int) { r.bigRows += delta }

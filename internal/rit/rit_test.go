@@ -1,14 +1,34 @@
 package rit
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cat"
+	"repro/internal/invariant"
 )
 
+// mustNew and mustInstall are shims for tests whose arguments are valid
+// by construction.
+func mustNew(spec cat.Spec, capacityTuples int, seed uint64) *RIT {
+	r, err := New(spec, capacityTuples, seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustInstall(r *RIT, x, y uint64) (Eviction, bool) {
+	ev, ok, err := r.Install(x, y)
+	if err != nil {
+		panic(err)
+	}
+	return ev, ok
+}
+
 func newSmall() *RIT {
-	return New(cat.Spec{Sets: 16, Ways: 10}, 64, 7)
+	return mustNew(cat.Spec{Sets: 16, Ways: 10}, 64, 7)
 }
 
 func TestRemapIdentityWhenEmpty(t *testing.T) {
@@ -20,7 +40,7 @@ func TestRemapIdentityWhenEmpty(t *testing.T) {
 
 func TestInstallRemapsBothDirections(t *testing.T) {
 	r := newSmall()
-	if _, _, _, ok := r.Install(3, 9); !ok {
+	if _, ok := mustInstall(r, 3, 9); !ok {
 		t.Fatal("install failed")
 	}
 	if got := r.Remap(3); got != 9 {
@@ -77,36 +97,34 @@ func TestRemove(t *testing.T) {
 	}
 }
 
-func TestInstallSelfSwapPanics(t *testing.T) {
+func TestInstallSelfSwapError(t *testing.T) {
 	r := newSmall()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	r.Install(5, 5)
+	if _, _, err := r.Install(5, 5); !errors.Is(err, ErrSelfSwap) {
+		t.Fatalf("Install(5,5) err = %v, want ErrSelfSwap", err)
+	}
 }
 
-func TestInstallOverExistingPanics(t *testing.T) {
+func TestInstallOverExistingError(t *testing.T) {
 	r := newSmall()
 	r.Install(3, 9)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	r.Install(9, 12)
+	if _, _, err := r.Install(9, 12); !errors.Is(err, ErrOccupied) {
+		t.Fatalf("Install over live row err = %v, want ErrOccupied", err)
+	}
+	// The failed install must not have disturbed the existing tuple.
+	if got := r.Remap(9); got != 3 {
+		t.Fatalf("Remap(9) = %d after rejected install, want 3", got)
+	}
 }
 
 func TestLockedTuplesNotEvicted(t *testing.T) {
-	r := New(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
+	r := mustNew(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
 	for i := uint64(0); i < 4; i++ {
-		if _, _, _, ok := r.Install(i*2, i*2+1); !ok {
+		if _, ok := mustInstall(r, i*2, i*2+1); !ok {
 			t.Fatalf("install %d failed", i)
 		}
 	}
 	// At capacity with everything locked: install must fail, not evict.
-	if _, _, _, ok := r.Install(100, 101); ok {
+	if _, ok := mustInstall(r, 100, 101); ok {
 		t.Fatal("install evicted a locked tuple")
 	}
 	if r.Tuples() != 4 {
@@ -115,18 +133,19 @@ func TestLockedTuplesNotEvicted(t *testing.T) {
 }
 
 func TestLazyEvictionAfterClearLocks(t *testing.T) {
-	r := New(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
+	r := mustNew(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
 	for i := uint64(0); i < 4; i++ {
 		r.Install(i*2, i*2+1)
 	}
 	r.ClearLocks()
-	ex, ey, evicted, ok := r.Install(100, 101)
+	ev, ok := mustInstall(r, 100, 101)
 	if !ok {
 		t.Fatal("install after ClearLocks failed")
 	}
-	if !evicted {
+	if !ev.Happened {
 		t.Fatal("install at capacity did not evict")
 	}
+	ex, ey := ev.X, ev.Y
 	lo, hi := ex, ey
 	if lo > hi {
 		lo, hi = hi, lo
@@ -146,7 +165,7 @@ func TestLazyEvictionAfterClearLocks(t *testing.T) {
 }
 
 func TestNewlyInstalledStaysLockedAcrossEvictions(t *testing.T) {
-	r := New(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
+	r := mustNew(cat.Spec{Sets: 16, Ways: 10}, 4, 7)
 	for i := uint64(0); i < 4; i++ {
 		r.Install(i*2, i*2+1)
 	}
@@ -154,7 +173,7 @@ func TestNewlyInstalledStaysLockedAcrossEvictions(t *testing.T) {
 	// Install 3 new (locked) tuples; each evicts an old one. The new ones
 	// must survive.
 	for i := uint64(0); i < 3; i++ {
-		if _, _, _, ok := r.Install(100+i*2, 101+i*2); !ok {
+		if _, ok := mustInstall(r, 100+i*2, 101+i*2); !ok {
 			t.Fatalf("install %d failed", i)
 		}
 	}
@@ -198,13 +217,10 @@ func TestForEachTupleVisitsEachOnce(t *testing.T) {
 	}
 }
 
-func TestCapacityTooBigForGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	New(cat.Spec{Sets: 1, Ways: 2}, 100, 1)
+func TestCapacityTooBigForGeometryError(t *testing.T) {
+	if _, err := New(cat.Spec{Sets: 1, Ways: 2}, 100, 1); !errors.Is(err, invariant.ErrBadGeometry) {
+		t.Fatalf("err = %v, want ErrBadGeometry", err)
+	}
 }
 
 // TestPropertyInvolutionMaintained drives random install/remove/clear
@@ -212,7 +228,7 @@ func TestCapacityTooBigForGeometryPanics(t *testing.T) {
 // against a map oracle.
 func TestPropertyInvolutionMaintained(t *testing.T) {
 	f := func(ops []uint16, seed uint64) bool {
-		r := New(cat.Spec{Sets: 16, Ways: 10}, 32, seed)
+		r := mustNew(cat.Spec{Sets: 16, Ways: 10}, 32, seed)
 		oracle := map[uint64]uint64{}
 		for _, op := range ops {
 			x := uint64(op % 50)
@@ -228,7 +244,7 @@ func TestPropertyInvolutionMaintained(t *testing.T) {
 				if len(oracle)/2 >= 32 {
 					continue
 				}
-				if _, _, _, ok := r.Install(x, y); ok {
+				if _, ok := mustInstall(r, x, y); ok {
 					oracle[x], oracle[y] = y, x
 				}
 			case 1: // remove
@@ -265,11 +281,11 @@ func TestPropertyInvolutionMaintained(t *testing.T) {
 
 func TestPaperGeometryHoldsFullCapacity(t *testing.T) {
 	// Paper configuration: 3400 tuples in 2 x 256 sets x 20 ways.
-	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	r := mustNew(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
 	for i := 0; i < 3400; i++ {
 		x := uint64(i)
 		y := uint64(100000 + i)
-		if _, _, _, ok := r.Install(x, y); !ok {
+		if _, ok := mustInstall(r, x, y); !ok {
 			t.Fatalf("install %d failed in paper geometry", i)
 		}
 	}
@@ -282,7 +298,7 @@ func TestPaperGeometryHoldsFullCapacity(t *testing.T) {
 }
 
 func BenchmarkRemapHit(b *testing.B) {
-	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	r := mustNew(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
 	for i := 0; i < 3400; i++ {
 		r.Install(uint64(i), uint64(100000+i))
 	}
@@ -293,7 +309,7 @@ func BenchmarkRemapHit(b *testing.B) {
 }
 
 func BenchmarkRemapMiss(b *testing.B) {
-	r := New(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
+	r := mustNew(cat.Spec{Sets: 256, Ways: 20}, 3400, 3)
 	for i := 0; i < 3400; i++ {
 		r.Install(uint64(i), uint64(100000+i))
 	}

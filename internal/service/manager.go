@@ -91,8 +91,11 @@ type JobView struct {
 	CacheHit bool    `json:"cache_hit"`
 	// Attempts counts runs of this job so far (0 while it has never been
 	// claimed; 2+ means automatic retries after transient failures).
-	Attempts  int    `json:"attempts,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Paranoid mirrors Spec.Paranoid at the top level so dashboards can
+	// tell self-verifying runs apart without digging into the spec.
+	Paranoid  bool   `json:"paranoid,omitempty"`
 	Spec      Spec   `json:"spec"`
 	Submitted string `json:"submitted_at"`
 	Started   string `json:"started_at,omitempty"`
@@ -113,6 +116,7 @@ func (j *Job) Snapshot() JobView {
 		CacheHit:  j.cacheHit,
 		Attempts:  j.attempts,
 		Error:     j.err,
+		Paranoid:  j.spec.Paranoid,
 		Spec:      j.spec,
 		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
@@ -152,6 +156,12 @@ type Options struct {
 	// specs and terminal states, making accepted work durable across
 	// process crashes (see OpenJournal / Restore).
 	Journal *Journal
+	// ForceParanoid turns on Spec.Paranoid for every submitted job, so an
+	// operator can run a whole server in self-verifying mode without
+	// clients opting in. Forcing happens before hashing: a forced job
+	// caches under the paranoid spec, and submissions that already asked
+	// for paranoid coalesce with it.
+	ForceParanoid bool
 	// Run overrides the simulation executor (nil = the built-in engine).
 	// Chaos tests wrap an executor with injected faults here; it is also
 	// the seam for alternative backends.
@@ -326,6 +336,9 @@ func (m *Manager) journal(rec journalRecord) {
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if m.opts.ForceParanoid {
+		spec.Paranoid = true
 	}
 	norm := spec.Normalize()
 	hash := norm.Hash()

@@ -319,3 +319,54 @@ func TestCacheDeterminism(t *testing.T) {
 		t.Errorf("rrs_cache_hits_total = %d, want 1", counters["rrs_cache_hits_total"])
 	}
 }
+
+// TestForceParanoid: a server with ForceParanoid runs every job
+// self-verifying, hashes it under the paranoid spec (so paranoid and
+// plain submissions of the same knobs coalesce onto one job), and
+// surfaces the mode in the job view.
+func TestForceParanoid(t *testing.T) {
+	var mu sync.Mutex
+	var ran []Spec
+	m := stubManager(t, Options{Workers: 1, ForceParanoid: true},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			mu.Lock()
+			ran = append(ran, spec)
+			mu.Unlock()
+			return sim.Result{}, nil
+		})
+
+	plain := uniqueSpec(1)
+	j, err := m.Submit(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, j)
+	if v.State != StateDone {
+		t.Fatalf("job state %s: %s", v.State, v.Error)
+	}
+	if !v.Paranoid || !v.Spec.Paranoid {
+		t.Fatalf("forced job view not marked paranoid: %+v", v)
+	}
+	forced := plain
+	forced.Paranoid = true
+	if j.Hash() != forced.Normalize().Hash() {
+		t.Error("forced job hashed under the non-paranoid spec")
+	}
+
+	// An explicit paranoid submission of the same knobs is the same job:
+	// answered from the cache, no second run.
+	j2, err := m.Submit(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := waitDone(t, j2)
+	if v2.State != StateDone || !v2.CacheHit {
+		t.Fatalf("paranoid resubmission state=%s cacheHit=%v, want cache hit", v2.State, v2.CacheHit)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 1 || !ran[0].Paranoid {
+		t.Fatalf("ran %d specs (%+v), want exactly one paranoid run", len(ran), ran)
+	}
+}

@@ -197,7 +197,11 @@ func TestSubmitOversizeBodyRejected(t *testing.T) {
 }
 
 func TestBackpressureCarriesRetryAfter(t *testing.T) {
-	started := make(chan struct{})
+	// started is buffered for every job this test enqueues: once release
+	// is closed, the worker may claim the still-queued second job before
+	// shutdown closes the queue, and an unbuffered send would wedge the
+	// stub — ignoring its context — past Shutdown's force-cancel.
+	started := make(chan struct{}, 2)
 	release := make(chan struct{})
 	srv, _ := newTestServer(t, Options{Workers: 1, QueueDepth: 1},
 		func(_ context.Context, _ Spec, _ func(int64, int64)) (sim.Result, error) {

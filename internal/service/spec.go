@@ -85,6 +85,17 @@ type Spec struct {
 	// server's default). It does not contribute to the content hash —
 	// it cannot change a result, only whether one is produced.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Paranoid turns on the run's self-verification layer: structural
+	// invariant sweeps and shadow-model differential oracles over the
+	// RIT, trackers and DRAM state. Statistics are bit-identical either
+	// way, but the result gains an invariant summary, so Paranoid
+	// participates in the content hash (omitempty keeps pre-existing
+	// spec hashes unchanged).
+	Paranoid bool `json:"paranoid,omitempty"`
+	// MaxSteps aborts the run with sim.ErrStepBudget after that many
+	// memory accesses (0 = unlimited). A tripped budget changes the
+	// outcome, so MaxSteps participates in the content hash.
+	MaxSteps int64 `json:"max_steps,omitempty"`
 }
 
 // Normalize returns a copy with every defaulted field made explicit, so
@@ -134,6 +145,9 @@ func (s Spec) Validate() error {
 	}
 	if n.Cores < 0 {
 		return fmt.Errorf("service: Cores must be non-negative, got %d", n.Cores)
+	}
+	if n.MaxSteps < 0 {
+		return fmt.Errorf("service: MaxSteps must be non-negative, got %d", n.MaxSteps)
 	}
 	cfg, err := n.configFor()
 	if err != nil {
@@ -201,6 +215,8 @@ func (s Spec) Options() (sim.Options, error) {
 		Seed:                n.Seed,
 		HotRowThreshold:     n.HotRowThreshold,
 		HotShare:            n.HotShare,
+		Paranoid:            n.Paranoid,
+		MaxSteps:            n.MaxSteps,
 	}
 	if n.Epochs > 0 {
 		opts.CycleLimit = int64(n.Epochs) * cfg.EpochCycles

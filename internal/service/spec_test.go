@@ -51,6 +51,12 @@ func TestSpecHashCanonical(t *testing.T) {
 	v = base
 	v.Cores = 2
 	variants["cores"] = v
+	v = base
+	v.Paranoid = true
+	variants["paranoid"] = v
+	v = base
+	v.MaxSteps = 100000
+	variants["max-steps"] = v
 	seen := map[string]string{base.Hash(): "base"}
 	for name, spec := range variants {
 		h := spec.Hash()

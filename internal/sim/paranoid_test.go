@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// paranoidOptions builds a short RRS run, optionally self-verifying.
+func paranoidOptions(t *testing.T, paranoid bool) Options {
+	t.Helper()
+	w, ok := trace.ByName("hmmer")
+	if !ok {
+		t.Fatal("workload hmmer missing from catalog")
+	}
+	cfg := testConfig()
+	return Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          cfg.EpochCycles,
+		Seed:                3,
+		Mitigation:          rrsFactory,
+		Paranoid:            paranoid,
+	}
+}
+
+// TestParanoidRunCleanAndBitIdentical is the equivalence guarantee of
+// the self-verification layer: a paranoid run of the full RRS stack
+// reports zero invariant violations, actually exercises the catalog
+// (non-zero check counts for the structural sweeps and shadow oracles),
+// and computes statistics bit-identical to the same run with checks off.
+func TestParanoidRunCleanAndBitIdentical(t *testing.T) {
+	plain, err := Run(paranoidOptions(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// envParanoid is read once per process, so t.Setenv can't isolate
+	// this assertion; under RRS_PARANOID=1 (make paranoid) every run is
+	// checked and the nil-summary contract is exercised by the regular
+	// CI job instead.
+	if plain.Invariants != nil {
+		if envParanoid() {
+			plain.Invariants = nil
+		} else {
+			t.Fatal("non-paranoid run carries an invariant summary")
+		}
+	}
+
+	checked, err := Run(paranoidOptions(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := checked.Invariants
+	if inv == nil {
+		t.Fatal("paranoid run carries no invariant summary")
+	}
+	if inv.Violations != 0 || inv.FirstViolation != "" {
+		t.Fatalf("paranoid run reports violations: %d (%s)", inv.Violations, inv.FirstViolation)
+	}
+	if inv.Checks == 0 {
+		t.Fatal("paranoid run executed zero invariant checks")
+	}
+	for _, name := range []string{"rit/structure", "rit/shadow", "tracker/shadow", "dram/swap-conservation"} {
+		if inv.PerCheck[name] == 0 {
+			t.Errorf("catalog entry %s never ran (per-check: %v)", name, inv.PerCheck)
+		}
+	}
+
+	plain.Mitigation, checked.Mitigation = nil, nil
+	checked.Invariants = nil
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatalf("paranoid mode changed the statistics\nplain:   %+v\nchecked: %+v", plain, checked)
+	}
+}
+
+// TestMaxStepsBudget aborts a run after a fixed number of accesses with
+// the typed sentinel, whether or not paranoid checks are on.
+func TestMaxStepsBudget(t *testing.T) {
+	for _, paranoid := range []bool{false, true} {
+		opts := paranoidOptions(t, paranoid)
+		opts.MaxSteps = 5000
+		if _, err := Run(opts); !errors.Is(err, ErrStepBudget) {
+			t.Fatalf("paranoid=%v: err = %v, want ErrStepBudget", paranoid, err)
+		}
+	}
+}
+
+// TestDeadlineGuard aborts a run on wall-clock expiry with the typed
+// sentinel.
+func TestDeadlineGuard(t *testing.T) {
+	opts := paranoidOptions(t, false)
+	opts.Deadline = 1 // 1ns: expires at the first poll
+	if _, err := Run(opts); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}

@@ -11,16 +11,27 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/invariant"
 	"repro/internal/memctrl"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
+
+// ErrStepBudget reports a run stopped by Options.MaxSteps.
+var ErrStepBudget = errors.New("sim: step budget exhausted")
+
+// ErrDeadline reports a run stopped by Options.Deadline.
+var ErrDeadline = errors.New("sim: wall-clock deadline exceeded")
 
 // llcHitBusCycles is the LLC hit latency in memory-bus cycles (~19 ns).
 const llcHitBusCycles = 15
@@ -69,7 +80,28 @@ type Options struct {
 	// instructions otherwise. It runs on the simulation goroutine and
 	// must be cheap; done never exceeds total.
 	Progress func(done, total int64)
+	// Paranoid enables the runtime self-verification layer: shadow
+	// models on every RIT and tracker, swap-conservation verification in
+	// the DRAM model, and the structural check catalog run on a cadence.
+	// The first invariant.Violation fails the run; a clean run reports
+	// its check counters in Result.Invariants. Setting RRS_PARANOID=1 in
+	// the environment turns it on for every run (the `make paranoid`
+	// switch). Statistics are bit-identical either way — the checks only
+	// observe.
+	Paranoid bool
+	// MaxSteps, when positive, bounds the run to this many memory
+	// accesses; exceeding it fails the run with ErrStepBudget. A guard
+	// against runaway specs, independent of Paranoid.
+	MaxSteps int64
+	// Deadline, when positive, bounds the run's wall-clock time;
+	// exceeding it fails the run with ErrDeadline.
+	Deadline time.Duration
 }
+
+// envParanoid reports whether RRS_PARANOID=1 forces paranoid mode on.
+var envParanoid = sync.OnceValue(func() bool {
+	return os.Getenv("RRS_PARANOID") == "1"
+})
 
 // checkInterval is how many memory accesses pass between cancellation
 // polls and progress callbacks (~tens of microseconds of wall time).
@@ -102,6 +134,52 @@ type Result struct {
 	// excluded from JSON: the rrs-serve result payload carries only the
 	// numeric fields, not the live hardware model.
 	Mitigation memctrl.Mitigation `json:"-"`
+	// Invariants is the paranoid mode's check accounting; nil when the
+	// run was not paranoid, so non-paranoid results (and their JSON and
+	// golden-test forms) are unchanged.
+	Invariants *invariant.Summary `json:"invariants,omitempty"`
+}
+
+// catalogCadence is how many checkInterval poll points pass between full
+// structural-catalog sweeps in paranoid mode (the shadows check
+// continuously in between); the catalog also runs once at the end.
+const catalogCadence = 64
+
+// runGuards bundles the per-run safety rails polled every checkInterval
+// accesses: step budget, wall-clock deadline, and the paranoid engine.
+type runGuards struct {
+	eng      *invariant.Engine
+	rrs      *core.RRS
+	maxSteps int64
+	deadline time.Time
+	polls    int64
+}
+
+func (g *runGuards) poll(accesses int64) error {
+	if g.maxSteps > 0 && accesses >= g.maxSteps {
+		return fmt.Errorf("%w after %d accesses", ErrStepBudget, accesses)
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return ErrDeadline
+	}
+	if g.eng == nil {
+		return nil
+	}
+	// The shadows and swap checks latch violations asynchronously; fail
+	// fast on the first. The full structural catalog is costlier (it
+	// sweeps tables and memos), so it runs on a sparser cadence.
+	if g.rrs != nil {
+		if err := g.rrs.Err(); err != nil {
+			return err
+		}
+	} else if err := g.eng.Err(); err != nil {
+		return err
+	}
+	g.polls++
+	if g.polls%catalogCadence == 0 {
+		return g.eng.RunAll()
+	}
+	return nil
 }
 
 // Run executes the simulation to completion.
@@ -125,7 +203,10 @@ func Run(opts Options) (Result, error) {
 		hotThreshold = cfg.RowHammerThreshold / 6
 	}
 
-	sys := dram.New(cfg)
+	sys, err := dram.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	var mit memctrl.Mitigation = memctrl.None{}
 	if opts.Mitigation != nil {
 		if m := opts.Mitigation(sys); m != nil {
@@ -133,6 +214,25 @@ func Run(opts Options) (Result, error) {
 		}
 	}
 	ctl := memctrl.New(sys, mit)
+
+	paranoid := opts.Paranoid || envParanoid()
+	var guards *runGuards
+	if paranoid || opts.MaxSteps > 0 || opts.Deadline > 0 {
+		guards = &runGuards{maxSteps: opts.MaxSteps}
+		if opts.Deadline > 0 {
+			guards.deadline = time.Now().Add(opts.Deadline)
+		}
+		if paranoid {
+			guards.eng = invariant.NewEngine()
+			if r, ok := mit.(*core.RRS); ok {
+				r.EnableParanoid(guards.eng)
+				guards.rrs = r
+			} else {
+				sys.EnableParanoid(guards.eng)
+				guards.eng.Register("dram/structure", sys.CheckInvariants)
+			}
+		}
+	}
 
 	// Per-epoch hot-row sampling.
 	var hotRowSamples []int64
@@ -222,6 +322,11 @@ func Run(opts Options) (Result, error) {
 					return Result{}, fmt.Errorf("sim: run interrupted: %w", err)
 				}
 			}
+			if guards != nil {
+				if err := guards.poll(res.Accesses); err != nil {
+					return Result{}, err
+				}
+			}
 			if opts.Progress != nil {
 				if opts.CycleLimit > 0 {
 					report(nextT)
@@ -290,6 +395,19 @@ func Run(opts Options) (Result, error) {
 		}
 	}
 	res.Energy = power.DefaultDRAMEnergy().Measure(sys, end)
+	if guards != nil && guards.eng != nil {
+		// Final catalog sweep, then fail the run on any latched violation.
+		if err := guards.eng.RunAll(); err != nil {
+			return Result{}, err
+		}
+		if guards.rrs != nil {
+			if err := guards.rrs.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		s := guards.eng.Summary()
+		res.Invariants = &s
+	}
 	report(progressTotal)
 	return res, nil
 }

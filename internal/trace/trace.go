@@ -14,6 +14,7 @@ package trace
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -57,6 +58,12 @@ func (t *Writer) Write(r Record) error {
 	return err
 }
 
+// ErrTornTrace reports a trace file whose final record is truncated:
+// the stream ended mid-record (fewer than 13 bytes), so data was lost —
+// typically a writer killed mid-flush. A clean end falls exactly on a
+// record boundary and surfaces as io.EOF instead.
+var ErrTornTrace = errors.New("trace: torn trailing record")
+
 // FileReader deserializes records written by Writer.
 type FileReader struct {
 	r   io.Reader
@@ -72,7 +79,11 @@ func (f *FileReader) Next() (Record, bool) {
 		return Record{}, false
 	}
 	var buf [13]byte
-	if _, err := io.ReadFull(f.r, buf[:]); err != nil {
+	if n, err := io.ReadFull(f.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			// A partial record: distinguish torn data from a clean end.
+			err = fmt.Errorf("%w: %d trailing bytes", ErrTornTrace, n)
+		}
 		f.err = err
 		return Record{}, false
 	}
@@ -83,7 +94,8 @@ func (f *FileReader) Next() (Record, bool) {
 	}, true
 }
 
-// Err returns the terminal error (io.EOF after a clean end).
+// Err returns the terminal error: io.EOF after a clean end, ErrTornTrace
+// (wrapped) after a truncated trailing record.
 func (f *FileReader) Err() error { return f.err }
 
 // --- Synthetic workloads ---

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"testing"
@@ -35,6 +36,51 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 	if r.Err() != io.EOF {
 		t.Fatalf("Err = %v, want EOF", r.Err())
+	}
+}
+
+// TestFileReaderTornTrailingRecord truncates a trace mid-record at every
+// possible offset and checks the reader reports ErrTornTrace — not a
+// clean EOF — so a writer killed mid-flush cannot silently shorten a
+// workload.
+func TestFileReaderTornTrailingRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Record{Gap: uint32(i), Line: uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	const recordBytes = 13
+	for cut := 1; cut < recordBytes; cut++ {
+		r := NewFileReader(bytes.NewReader(full[:2*recordBytes+cut]))
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 2 {
+			t.Fatalf("cut %d: read %d whole records, want 2", cut, n)
+		}
+		if err := r.Err(); !errors.Is(err, ErrTornTrace) {
+			t.Fatalf("cut %d: Err = %v, want ErrTornTrace", cut, err)
+		}
+		if errors.Is(r.Err(), io.EOF) {
+			t.Fatalf("cut %d: torn trace must not read as a clean EOF", cut)
+		}
+	}
+	// A zero-byte tail is a clean end, not a torn record.
+	r := NewFileReader(bytes.NewReader(full[:2*recordBytes]))
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() != io.EOF {
+		t.Fatalf("record-aligned end: Err = %v, want EOF", r.Err())
 	}
 }
 

@@ -1,5 +1,11 @@
 package tracker
 
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
 // CAM is the reference Misra-Gries tracker: a fully associative
 // (content-addressable) table as used by Graphene. Entries live in flat
 // preallocated slot arrays (row, count) reached through a private
@@ -41,15 +47,27 @@ type CAM struct {
 	// against the live count on pop (a queued slot may have been bumped).
 	minQueue []int32
 	minHead  int
+
+	// Eviction log for the differential oracle (EvictionReporter);
+	// recording is off until logEvictions is armed.
+	logEvictions bool
+	evictions    uint64
+	lastEvicted  uint64
+	evictLie     bool   // test hook: LastEvicted lies
+	evictLieRow  uint64 // the row it lies about
 }
 
-var _ Tracker = (*CAM)(nil)
+var (
+	_ Tracker          = (*CAM)(nil)
+	_ EvictionReporter = (*CAM)(nil)
+)
 
 // NewCAM creates a reference tracker with the given entry capacity and
-// swap threshold.
-func NewCAM(capacity int, threshold int64) *CAM {
+// swap threshold. The error wraps invariant.ErrBadGeometry.
+func NewCAM(capacity int, threshold int64) (*CAM, error) {
 	if capacity <= 0 || threshold <= 0 {
-		panic("tracker: capacity and threshold must be positive")
+		return nil, fmt.Errorf("tracker: %w: capacity %d and threshold %d must be positive",
+			invariant.ErrBadGeometry, capacity, threshold)
 	}
 	idxLen := 4
 	for idxLen < 4*capacity {
@@ -63,7 +81,7 @@ func NewCAM(capacity int, threshold int64) *CAM {
 		idx:       make([]int32, idxLen),
 		idxMask:   uint64(idxLen - 1),
 		minQueue:  make([]int32, 0, capacity),
-	}
+	}, nil
 }
 
 // camHash is the splitmix64 finalizer — an invertible mixer, so distinct
@@ -164,6 +182,10 @@ func (c *CAM) Observe(row uint64) bool {
 	// only advances past the minimum): replace one minimum entry with the
 	// new row at count spill+1.
 	victim := c.findMinSlot()
+	if c.logEvictions {
+		c.lastEvicted = c.rows[victim]
+		c.evictions++
+	}
 	c.idxDelete(c.rows[victim])
 	c.minCount--
 	c.installAt(victim, row, c.spill+1)
@@ -274,6 +296,20 @@ func (c *CAM) resetMinQueue() {
 
 // Contains implements Tracker.
 func (c *CAM) Contains(row uint64) bool { return c.lookup(row) >= 0 }
+
+// EnableEvictionLog implements EvictionReporter.
+func (c *CAM) EnableEvictionLog() { c.logEvictions = true }
+
+// Evictions implements EvictionReporter (monotonic across Reset).
+func (c *CAM) Evictions() uint64 { return c.evictions }
+
+// LastEvicted implements EvictionReporter.
+func (c *CAM) LastEvicted() uint64 {
+	if c.evictLie {
+		return c.evictLieRow
+	}
+	return c.lastEvicted
+}
 
 // Count implements Tracker.
 func (c *CAM) Count(row uint64) (int64, bool) {

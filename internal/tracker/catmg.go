@@ -1,9 +1,11 @@
 package tracker
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/cat"
+	"repro/internal/invariant"
 )
 
 // CAT is the paper's scalable Misra-Gries tracker (Section 6.4): entries
@@ -48,6 +50,12 @@ type CAT struct {
 	// table lookup.
 	present []uint64
 	bigRows int
+
+	// Eviction log for the differential oracle (EvictionReporter);
+	// recording is off until logEvictions is armed.
+	logEvictions bool
+	evictions    uint64
+	lastEvicted  uint64
 }
 
 // maxBitsetRows bounds the presence bitset at 512 KiB so adversarial
@@ -86,18 +94,27 @@ func (t *CAT) removePresent(row uint64) {
 	}
 }
 
-var _ Tracker = (*CAT)(nil)
+var (
+	_ Tracker          = (*CAT)(nil)
+	_ EvictionReporter = (*CAT)(nil)
+)
 
 // NewCAT creates a scalable tracker with the given CAT geometry, entry
 // capacity and swap threshold. The geometry must have at least capacity
 // slots; the paper uses 2x64 sets x 20 ways (2560 slots) for 1700 entries,
-// i.e., 14 demand ways and 6 extra ways per set.
-func NewCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) *CAT {
+// i.e., 14 demand ways and 6 extra ways per set. The error wraps
+// invariant.ErrBadGeometry.
+func NewCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) (*CAT, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("tracker: %w: %v", invariant.ErrBadGeometry, err)
+	}
 	if capacity <= 0 || threshold <= 0 {
-		panic("tracker: capacity and threshold must be positive")
+		return nil, fmt.Errorf("tracker: %w: capacity %d and threshold %d must be positive",
+			invariant.ErrBadGeometry, capacity, threshold)
 	}
 	if spec.Slots() < capacity {
-		panic("tracker: CAT geometry smaller than tracker capacity")
+		return nil, fmt.Errorf("tracker: %w: CAT geometry (%d slots) smaller than tracker capacity %d",
+			invariant.ErrBadGeometry, spec.Slots(), capacity)
 	}
 	t := &CAT{
 		threshold: threshold,
@@ -111,7 +128,7 @@ func NewCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) *CAT {
 			t.setMin[ti][s] = math.MaxInt64
 		}
 	}
-	return t
+	return t, nil
 }
 
 // recomputeSetMin rescans one set's counters and folds the change into
@@ -210,6 +227,10 @@ func (t *CAT) Observe(row uint64) bool {
 	victim, found := t.findMinEntry(min)
 	if found {
 		if vti, vs, ok := t.tab.DeletePos(victim); ok {
+			if t.logEvictions {
+				t.lastEvicted = victim
+				t.evictions++
+			}
 			t.removePresent(victim)
 			t.recomputeSetMin(vti, vs)
 		}
@@ -292,6 +313,15 @@ func (t *CAT) install(row uint64, cnt int64) {
 		}
 	}
 }
+
+// EnableEvictionLog implements EvictionReporter.
+func (t *CAT) EnableEvictionLog() { t.logEvictions = true }
+
+// Evictions implements EvictionReporter (monotonic across Reset).
+func (t *CAT) Evictions() uint64 { return t.evictions }
+
+// LastEvicted implements EvictionReporter.
+func (t *CAT) LastEvicted() uint64 { return t.lastEvicted }
 
 // Contains implements Tracker.
 func (t *CAT) Contains(row uint64) bool {

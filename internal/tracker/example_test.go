@@ -12,7 +12,10 @@ import (
 // minimum entry X is replaced).
 func ExampleCAM() {
 	const rowA, rowX, rowZ, rowB, rowC = 1, 2, 3, 4, 5
-	tr := tracker.NewCAM(3, 1000)
+	tr, err := tracker.NewCAM(3, 1000)
+	if err != nil {
+		panic(err)
+	}
 	for i := 0; i < 6; i++ {
 		tr.Observe(rowA)
 	}

@@ -23,8 +23,8 @@ func FuzzMisraGriesGuarantee(f *testing.F) {
 		}
 		const capacity, threshold = 8, 5
 		trackers := map[string]Tracker{
-			"cam": NewCAM(capacity, threshold),
-			"cat": NewCAT(cat.Spec{Sets: 4, Ways: 10}, capacity, threshold, seed),
+			"cam": mustCAM(capacity, threshold),
+			"cat": mustCAT(cat.Spec{Sets: 4, Ways: 10}, capacity, threshold, seed),
 		}
 		for name, tr := range trackers {
 			truth := map[uint64]int64{}

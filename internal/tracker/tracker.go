@@ -50,6 +50,27 @@ type Tracker interface {
 	Reset()
 }
 
+// EvictionReporter is implemented by trackers that record which entry the
+// most recent install displaced. The differential oracle (Shadow) uses it
+// to identify the evicted row in O(1); without it the oracle must probe
+// every minimum-count candidate through the wrapped tracker's (possibly
+// hash-heavy) Contains, which turns each eviction into an O(capacity)
+// scan. Both built-in trackers implement it.
+type EvictionReporter interface {
+	// EnableEvictionLog arms the log. Recording is off until then — even
+	// two unconditional stores on the eviction path are measurable on
+	// eviction-heavy streams — so Evictions and LastEvicted are only
+	// meaningful after arming (NewShadow arms the tracker it wraps).
+	EnableEvictionLog()
+	// Evictions returns the total number of entries evicted since the log
+	// was armed. It is monotonic across Reset, so callers can detect an
+	// eviction by comparing the value around an observation.
+	Evictions() uint64
+	// LastEvicted returns the row displaced by the most recent eviction
+	// (meaningful only after Evictions has advanced at least once).
+	LastEvicted() uint64
+}
+
 // EntriesFor returns the number of Misra-Gries entries needed to guarantee
 // detection at threshold t with at most actMax activations per window:
 // the smallest N with N > actMax/t - 1 (the paper's E = ACT_max / T_RRS).

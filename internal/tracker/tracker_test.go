@@ -1,13 +1,33 @@
 package tracker
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cat"
+	"repro/internal/invariant"
 	"repro/internal/prince"
 )
+
+// mustCAM and mustCAT are constructor shims for tests whose parameters
+// are valid by construction.
+func mustCAM(capacity int, threshold int64) *CAM {
+	c, err := NewCAM(capacity, threshold)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustCAT(spec cat.Spec, capacity int, threshold int64, seed uint64) *CAT {
+	c, err := NewCAT(spec, capacity, threshold, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // both returns one instance of each implementation with identical
 // parameters, for running the same scenario against both.
@@ -17,8 +37,8 @@ func both(capacity int, threshold int64) map[string]Tracker {
 		spec.Ways = capacity/(2*spec.Sets) + 7
 	}
 	return map[string]Tracker{
-		"cam": NewCAM(capacity, threshold),
-		"cat": NewCAT(spec, capacity, threshold, 42),
+		"cam": mustCAM(capacity, threshold),
+		"cat": mustCAT(spec, capacity, threshold, 42),
 	}
 }
 
@@ -248,8 +268,8 @@ func TestContainsMatchesCount(t *testing.T) {
 // replaced — must evolve identically for any stream.
 func TestPropertyBothImplementationsSameSpill(t *testing.T) {
 	f := func(stream []byte) bool {
-		cam := NewCAM(6, 50)
-		cct := NewCAT(cat.Spec{Sets: 4, Ways: 8}, 6, 50, 9)
+		cam := mustCAM(6, 50)
+		cct := mustCAT(cat.Spec{Sets: 4, Ways: 8}, 6, 50, 9)
 		for _, b := range stream {
 			row := uint64(b % 23)
 			cam.Observe(row)
@@ -271,8 +291,8 @@ func TestPropertyBothImplementationsSameSpill(t *testing.T) {
 // eviction victims by Go map iteration order, which is randomized per
 // map instance, so two replays of one stream could diverge.
 func TestCAMDeterministicEviction(t *testing.T) {
-	a := NewCAM(8, 50)
-	b := NewCAM(8, 50)
+	a := mustCAM(8, 50)
+	b := mustCAM(8, 50)
 	rng := prince.Seeded(17)
 	// Many ties at the minimum count: small row pool, capacity 8, so
 	// evictions constantly choose among several minimum entries.
@@ -304,7 +324,7 @@ func TestCAMDeterministicEviction(t *testing.T) {
 // cached-minimum bookkeeping via the exported observers.
 func TestCAMMatchesReferenceModel(t *testing.T) {
 	const capacity, threshold = 6, 9
-	c := NewCAM(capacity, threshold)
+	c := mustCAM(capacity, threshold)
 	model := map[uint64]int64{}
 	var spill int64
 	rng := prince.Seeded(23)
@@ -358,21 +378,18 @@ func TestCAMMatchesReferenceModel(t *testing.T) {
 }
 
 func TestNewCATRejectsTooSmallGeometry(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewCAT(cat.Spec{Sets: 1, Ways: 2}, 100, 10, 1)
+	if _, err := NewCAT(cat.Spec{Sets: 1, Ways: 2}, 100, 10, 1); !errors.Is(err, invariant.ErrBadGeometry) {
+		t.Fatalf("err = %v, want ErrBadGeometry", err)
+	}
 }
 
 func TestNewCAMRejectsBadParams(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewCAM(0, 10)
+	if _, err := NewCAM(0, 10); !errors.Is(err, invariant.ErrBadGeometry) {
+		t.Fatalf("capacity 0: err = %v, want ErrBadGeometry", err)
+	}
+	if _, err := NewCAM(4, 0); !errors.Is(err, invariant.ErrBadGeometry) {
+		t.Fatalf("threshold 0: err = %v, want ErrBadGeometry", err)
+	}
 }
 
 func TestPaperScaleTrackerHandlesFullEpoch(t *testing.T) {
@@ -380,7 +397,7 @@ func TestPaperScaleTrackerHandlesFullEpoch(t *testing.T) {
 		t.Skip("full-epoch tracker stress skipped in -short")
 	}
 	// The paper's geometry: 1700 entries, T = 800, 2x64 sets x 20 ways.
-	tr := NewCAT(cat.Spec{Sets: 64, Ways: 20}, 1700, 800, 11)
+	tr := mustCAT(cat.Spec{Sets: 64, Ways: 20}, 1700, 800, 11)
 	rng := prince.Seeded(1)
 	swaps := 0
 	// 200K activations: 100 hot rows get ~50% of traffic.
@@ -412,7 +429,7 @@ func TestPaperScaleTrackerHandlesFullEpoch(t *testing.T) {
 }
 
 func BenchmarkCAMObserve(b *testing.B) {
-	tr := NewCAM(1700, 800)
+	tr := mustCAM(1700, 800)
 	rng := prince.Seeded(1)
 	rows := make([]uint64, 4096)
 	for i := range rows {
@@ -425,7 +442,7 @@ func BenchmarkCAMObserve(b *testing.B) {
 }
 
 func BenchmarkCATObserve(b *testing.B) {
-	tr := NewCAT(cat.Spec{Sets: 64, Ways: 20}, 1700, 800, 1)
+	tr := mustCAT(cat.Spec{Sets: 64, Ways: 20}, 1700, 800, 1)
 	rng := prince.Seeded(1)
 	rows := make([]uint64, 4096)
 	for i := range rows {
