@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick bench-guard paranoid vet lint race chaos fuzz serve experiments examples clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard paranoid vet lint race chaos fuzz serve experiments examples alloc-check profile clean
 
 all: build lint test
 
@@ -71,6 +71,21 @@ bench-quick:
 bench-guard:
 	$(GO) run ./cmd/rrs-bench -quick -reps 7 -pins cmd/rrs-bench/pins.json \
 		-baseline BENCH_PR2.json -min-speedup 0.98 -out bench-quick.json
+
+# alloc-check runs the per-access allocation pins: the hot path — and
+# every hook layered onto it (paranoid checks, event recording) — must
+# stay at 0 allocs/op when its feature is off. CI runs this next to
+# bench-guard so an accidental allocation (closure capture, interface
+# boxing) fails loudly instead of surfacing as throughput drift.
+alloc-check:
+	$(GO) test -run 'AllocFree' -count=1 ./internal/rit ./internal/tracker \
+		./internal/dram ./internal/cat ./internal/obs
+
+# profile captures CPU and heap pprof profiles of the quick benchmark
+# set. Inspect with `go tool pprof cpu.pprof` (web: add -http=:0).
+profile:
+	$(GO) run ./cmd/rrs-bench -quick -pins cmd/rrs-bench/pins.json \
+		-out bench-profile.json -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # One benchmark per table/figure of the paper.
 bench-figures:

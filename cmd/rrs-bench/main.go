@@ -7,6 +7,10 @@
 //	rrs-bench -out BENCH_PR2.json                 # full set
 //	rrs-bench -quick                              # CI smoke subset
 //	rrs-bench -baseline BENCH_PR1.json ...        # speedup vs a prior report
+//	rrs-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The profile flags capture the benchmark run itself (`make profile`
+// wraps them): inspect with `go tool pprof cpu.pprof`.
 //
 // The report carries ns/op and allocs/op for the microbenchmarks and
 // wall-clock throughput (simulated cycles per second, accesses per
@@ -25,6 +29,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -121,7 +126,21 @@ func main() {
 	writePins := flag.Bool("write-pins", false, "rewrite the pins file from this run instead of checking")
 	baseline := flag.String("baseline", "", "prior rrs-bench report to compute speedup against")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail if the geomean speedup vs -baseline is below this (e.g. 0.98 tolerates a 2% regression)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the benchmark run to this file")
 	flag.Parse()
+
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
 
 	sims := pinnedSims
 	mode := "full"
@@ -157,6 +176,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, " %10.1f ns/op %4d allocs/op\n", mr.NsPerOp, mr.AllocsPerOp)
 		rep.Micro = append(rep.Micro, mr)
+	}
+
+	// Profiles are finalized here, covering exactly the sim and micro
+	// loops — fatalf below (drift/baseline failures) must not lose them.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "CPU profile written to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
 	}
 
 	if *baseline != "" {

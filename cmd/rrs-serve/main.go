@@ -17,6 +17,13 @@
 // simulation marks only that job failed (rrs_worker_panics_total); the
 // process keeps serving.
 //
+// With -debug-addr, a second listener serves net/http/pprof profiles
+// and expvar counters (for operators only — never expose it publicly):
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	go tool pprof http://localhost:6060/debug/pprof/heap
+//	curl -s localhost:6060/debug/vars
+//
 // Walkthrough:
 //
 //	curl -s localhost:8080/healthz
@@ -32,9 +39,11 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,9 +52,22 @@ import (
 	"repro/internal/service"
 )
 
+// main delegates to run so every exit path unwinds through the defers —
+// in particular the journal close/fsync. The previous shape called
+// os.Exit (via fatalf) directly from the middle of main, so an early
+// ListenAndServe failure skipped `defer journal.Close()` and left the
+// WAL without its final fsync.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rrs-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the pprof/expvar debug server (empty disables; keep it private)")
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queueDepth   = flag.Int("queue-depth", 64, "max queued jobs before 429s")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity (-1 disables)")
@@ -63,7 +85,7 @@ func main() {
 		var err error
 		journal, replayed, err = service.OpenJournal(*journalPath)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		defer journal.Close()
 	}
@@ -99,11 +121,26 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rrs-serve: listening on %s\n", *addr)
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "rrs-serve: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rrs-serve: pprof/expvar on %s/debug\n", *debugAddr)
+	}
+
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "rrs-serve: shutting down, draining running jobs...")
 	case err := <-errc:
-		fatalf("%v", err)
+		return err
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -111,15 +148,31 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "rrs-serve: http shutdown: %v\n", err)
 	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "rrs-serve: debug shutdown: %v\n", err)
+		}
+	}
 	if err := mgr.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "rrs-serve: job drain incomplete: %v\n", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatalf("%v", err)
+		return err
 	}
+	return nil
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "rrs-serve: "+format+"\n", args...)
-	os.Exit(1)
+// debugMux serves the standard Go debug surfaces on a dedicated mux —
+// registered explicitly rather than via the net/http/pprof and expvar
+// side effects on DefaultServeMux, so the job API listener never
+// exposes them.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

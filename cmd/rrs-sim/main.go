@@ -21,8 +21,10 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -39,6 +41,10 @@ func main() {
 		paranoid  = flag.Bool("paranoid", false, "run with the self-verification layer: invariant sweeps and shadow-model oracles (stats are bit-identical)")
 		maxSteps  = flag.Int64("max-steps", 0, "abort after this many memory accesses (0 = unlimited)")
 		list      = flag.Bool("list", false, "list catalog workloads and exit")
+
+		eventsOut    = flag.String("events", "", "record the run's event timeline and write it as JSON Lines to this file")
+		chromeOut    = flag.String("events-chrome", "", "record the run's event timeline and write it in Chrome trace-event format (open in Perfetto) to this file")
+		eventsBuffer = flag.Int("events-buffer", 0, "event ring capacity; keeps the newest events (0 = default 65536)")
 	)
 	flag.Parse()
 
@@ -75,9 +81,20 @@ func main() {
 	defer stop()
 	opts.Context = ctx
 
+	recordEvents := *eventsOut != "" || *chromeOut != ""
+	if recordEvents {
+		opts.Events = &obs.Config{RingSize: *eventsBuffer}
+	}
+
 	res, err := sim.Run(opts)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if recordEvents {
+		if err := writeTimeline(res.Timeline, *eventsOut, *chromeOut); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	fmt.Printf("workload:   %s\n", w)
@@ -111,6 +128,47 @@ func main() {
 			fmt.Printf("first violation: %s\n", inv.FirstViolation)
 		}
 	}
+	if tl := res.Timeline; tl != nil {
+		fmt.Printf("\nevents: %d recorded (%d kept, %d dropped), %d epoch samples\n",
+			tl.TotalEvents, int64(len(tl.Events)), tl.DroppedEvents, len(tl.Samples))
+	}
+}
+
+// writeTimeline dumps the recorded timeline to the requested files.
+func writeTimeline(tl *obs.Timeline, jsonlPath, chromePath string) error {
+	if tl == nil {
+		return fmt.Errorf("run produced no timeline")
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, tl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(tl.Events), jsonlPath)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		// Timestamps are bus cycles; Chrome traces want microseconds.
+		if err := obs.WriteChromeTrace(f, tl, config.BusGHz*1000); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", chromePath)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // This file implements the two extensions the paper sketches but does not
 // evaluate:
 //
@@ -29,6 +31,9 @@ func (r *RRS) observeDetection(u *bankUnit, loc uint64) {
 		return
 	}
 	r.stats.AttacksDetected++
+	if rec := r.rec; rec != nil {
+		rec.RecordNow(obs.KindAttack, u.bank, loc, uint64(u.swapMarks[loc]))
+	}
 	// Preemptive refresh of the entire DRAM: every row's charge is
 	// restored, so the attacker's accumulated disturbance is wiped.
 	r.sys.RefreshAll()

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/invariant"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/prince"
 	"repro/internal/rit"
 	"repro/internal/tracker"
@@ -166,6 +167,8 @@ type bankUnit struct {
 	hrt tracker.Tracker
 	rit *rit.RIT
 	rng *prince.CTR
+	// bank is the flat bank index stamped on observability events.
+	bank int32
 	// swapMarks counts swap events per physical location this epoch for
 	// the footnote-2 attack detector (nil when detection is off).
 	swapMarks map[uint64]int16
@@ -187,6 +190,9 @@ type RRS struct {
 	// latches the first structural error the mitigation itself hit.
 	eng *invariant.Engine
 	err error
+	// rec is the observability recorder (nil when disabled); the same
+	// one-nil-test discipline as eng keeps the disabled path free.
+	rec *obs.Recorder
 }
 
 var _ memctrl.Mitigation = (*RRS)(nil)
@@ -233,15 +239,31 @@ func New(sys *dram.System, params Params) (*RRS, error) {
 			return nil, err
 		}
 		r.units[i] = bankUnit{
-			hrt: hrt,
-			rit: rt,
-			rng: prince.NewCTR(seeds.Next(), seeds.Next()),
+			hrt:  hrt,
+			rit:  rt,
+			rng:  prince.NewCTR(seeds.Next(), seeds.Next()),
+			bank: int32(i),
 		}
 		if params.DetectionThreshold > 0 {
 			r.units[i].swapMarks = make(map[uint64]int16)
 		}
 	}
 	return r, nil
+}
+
+// EnableObs attaches an event recorder: the swap engine records swap /
+// re-swap / un-swap / channel-block / epoch events, and the per-bank RIT
+// and tracker structures record their own churn through the same
+// recorder. Call before the run starts; nil detaches.
+func (r *RRS) EnableObs(rec *obs.Recorder) {
+	r.rec = rec
+	for i := range r.units {
+		u := &r.units[i]
+		u.rit.SetObs(rec, u.bank)
+		if t, ok := u.hrt.(tracker.ObsTarget); ok {
+			t.SetObs(rec, u.bank)
+		}
+	}
 }
 
 // Params returns the finalized parameters.
@@ -280,7 +302,32 @@ func (r *RRS) AccessPenalty() int64 { return r.ritPenalty }
 
 // OnEpoch implements memctrl.Mitigation: reset every tracker and unlock
 // RIT entries so stale tuples drain lazily.
-func (r *RRS) OnEpoch(int64) {
+func (r *RRS) OnEpoch(now int64) {
+	if rec := r.rec; rec != nil {
+		// Sample occupancy at the boundary, before trackers reset.
+		rec.SetNow(now)
+		epoch := int64(len(r.stats.SwapsPerEpoch))
+		var ritTotal, hrtTotal int64
+		for i := range r.units {
+			u := &r.units[i]
+			tuples := int64(u.rit.Tuples())
+			rec.Observe(obs.HistRITOcc, tuples)
+			ritTotal += tuples
+			if u.hrt != nil {
+				rows := int64(u.hrt.Len())
+				rec.Observe(obs.HistHRTOcc, rows)
+				hrtTotal += rows
+			}
+		}
+		rec.Sample(obs.EpochSample{
+			Epoch:       epoch,
+			At:          now,
+			Swaps:       r.stats.EpochSwaps,
+			RITTuples:   ritTotal,
+			HRTRows:     hrtTotal,
+			BlockCycles: r.stats.BlockCycles,
+		})
+	}
 	for i := range r.units {
 		if r.units[i].hrt != nil {
 			r.units[i].hrt.Reset()
@@ -312,6 +359,10 @@ func (r *RRS) OnActivate(id dram.BankID, row, physRow int, now int64) memctrl.Ac
 	}
 	block := ops * r.params.SwapOpCycles
 	r.stats.BlockCycles += block
+	if rec := r.rec; rec != nil {
+		rec.Record(obs.KindChannelBlocked, u.bank, uint64(row), uint64(ops), now, block)
+		rec.Observe(obs.HistSwapBlock, block)
+	}
 	return memctrl.ActResult{ChannelBlock: block, Headroom: r.headroom(u, uint64(row))}
 }
 
@@ -373,6 +424,9 @@ func (r *RRS) swap(u *bankUnit, id dram.BankID, row uint64, now int64) int64 {
 		r.sys.SwapRows(id, int(ev.X), int(ev.Y), now)
 		r.stats.EvictionUnswaps++
 		ops++
+		if rec := r.rec; rec != nil {
+			rec.Record(obs.KindUnswap, u.bank, ev.X, ev.Y, now, 0)
+		}
 	}
 	if !ok {
 		r.stats.SkippedSwaps++
@@ -382,6 +436,9 @@ func (r *RRS) swap(u *bankUnit, id dram.BankID, row uint64, now int64) int64 {
 	ops++
 	r.stats.Swaps++
 	r.stats.EpochSwaps++
+	if rec := r.rec; rec != nil {
+		rec.Record(obs.KindSwap, u.bank, row, dest, now, 0)
+	}
 	return ops
 }
 
@@ -419,6 +476,9 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 		r.sys.SwapRows(id, int(ev.X), int(ev.Y), now)
 		r.stats.EvictionUnswaps++
 		ops++
+		if rec := r.rec; rec != nil {
+			rec.Record(obs.KindUnswap, u.bank, ev.X, ev.Y, now, 0)
+		}
 	}
 	if !ok {
 		r.restoreTuple(u, id, row, partner, now)
@@ -437,6 +497,9 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 		r.sys.SwapRows(id, int(ev.X), int(ev.Y), now)
 		r.stats.EvictionUnswaps++
 		ops++
+		if rec := r.rec; rec != nil {
+			rec.Record(obs.KindUnswap, u.bank, ev.X, ev.Y, now, 0)
+		}
 	}
 	if !ok {
 		u.rit.Remove(row) // undo <row,destA>
@@ -451,6 +514,9 @@ func (r *RRS) reswap(u *bankUnit, id dram.BankID, row, partner uint64, now int64
 	r.stats.Swaps++
 	r.stats.Reswaps++
 	r.stats.EpochSwaps++
+	if rec := r.rec; rec != nil {
+		rec.Record(obs.KindReswap, u.bank, row, partner, now, 0)
+	}
 	return ops
 }
 

@@ -15,16 +15,22 @@ import (
 // Every failure is reported: errors are labelled with their workload and
 // aggregated with errors.Join, so a multi-workload sweep that fails on
 // three benchmarks names all three.
+//
+// The semaphore is acquired before the goroutine is spawned, so at most
+// cap(sem) goroutines (and their simulation footprints) exist at once.
+// The earlier shape spawned one goroutine per workload up front and
+// acquired inside, which ballooned to len(ws) goroutines on a full
+// Table 3 sweep before the semaphore throttled anything.
 func runAll[T any](ws []trace.Workload, fn func(trace.Workload) (T, error)) ([]T, error) {
 	out := make([]T, len(ws))
 	errs := make([]error, len(ws))
 	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
 	var wg sync.WaitGroup
 	for i, w := range ws {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, w trace.Workload) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			var err error
 			out[i], err = fn(w)

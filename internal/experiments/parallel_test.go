@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestRunAllBoundsGoroutines is the regression test for the eager-spawn
+// bug: runAll used to start one goroutine per workload before acquiring
+// the semaphore, so a wide sweep ballooned to len(ws) goroutines at
+// once. The fix acquires before spawning, so goroutine growth is capped
+// by the semaphore even while every running fn is blocked.
+func TestRunAllBoundsGoroutines(t *testing.T) {
+	const n = 64
+	cap := max(1, runtime.GOMAXPROCS(0))
+	if n <= cap {
+		t.Skipf("GOMAXPROCS %d too large to observe throttling with %d workloads", cap, n)
+	}
+	ws := make([]trace.Workload, n)
+	for i := range ws {
+		ws[i] = trace.Workload{Name: "fake"}
+	}
+
+	var started atomic.Int64
+	release := make(chan struct{})
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := runAll(ws, func(trace.Workload) (int, error) {
+			started.Add(1)
+			<-release
+			return 0, nil
+		})
+		if err != nil {
+			t.Errorf("runAll: %v", err)
+		}
+	}()
+
+	// Wait until the semaphore is saturated: cap workers are inside fn.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < int64(cap) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers started", started.Load(), cap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With all workers blocked, only the cap'd worker goroutines (plus
+	// the submitting one) may exist — not one per workload.
+	if got, limit := runtime.NumGoroutine(), baseline+cap+4; got > limit {
+		t.Errorf("%d goroutines while %d workloads pend (baseline %d, cap %d); eager spawn regressed",
+			got, n, baseline, cap)
+	}
+
+	close(release)
+	wg.Wait()
+	if got := started.Load(); got != n {
+		t.Errorf("ran %d workloads, want %d", got, n)
+	}
+}
+
+// TestRunAllAggregatesErrors pins the error contract: every failing
+// workload is named, and successes still run to completion.
+func TestRunAllAggregatesErrors(t *testing.T) {
+	ws := []trace.Workload{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	boom := errors.New("boom")
+	_, err := runAll(ws, func(w trace.Workload) (int, error) {
+		if w.Name != "b" {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+	for _, name := range []string{"workload a", "workload c"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name %q", err, name)
+		}
+	}
+	if strings.Contains(err.Error(), "workload b") {
+		t.Errorf("error %q blames the successful workload", err)
+	}
+}

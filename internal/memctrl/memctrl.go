@@ -13,6 +13,7 @@ package memctrl
 import (
 	"repro/internal/config"
 	"repro/internal/dram"
+	"repro/internal/obs"
 )
 
 // ActResult tells the controller what a mitigation did in response to an
@@ -133,6 +134,12 @@ type Controller struct {
 	epochSlot int64
 	stats     Stats
 	epochHook func(now int64)
+
+	// rec is the observability recorder (nil when disabled). The
+	// controller stamps its clock as simulated time advances, records
+	// epoch-boundary events, and feeds the stall/access histograms; every
+	// hook is behind one nil test so the disabled path stays free.
+	rec *obs.Recorder
 }
 
 // New creates a controller over sys using mitigation mit (use None for the
@@ -145,6 +152,12 @@ func New(sys *dram.System, mit Mitigation) *Controller {
 	}
 	return c
 }
+
+// SetRecorder attaches an observability recorder; nil detaches. The
+// controller owns the recorder's clock: it is set to each activation
+// time before mitigation hooks run and to each boundary before OnEpoch,
+// so components without a time argument can stamp events via RecordNow.
+func (c *Controller) SetRecorder(rec *obs.Recorder) { c.rec = rec }
 
 // Stats returns a snapshot of controller statistics.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -172,6 +185,10 @@ func (c *Controller) AdvanceTo(now int64) {
 		if c.epochHook != nil {
 			c.epochHook(boundary)
 		}
+		if rec := c.rec; rec != nil {
+			rec.SetNow(boundary)
+			rec.Record(obs.KindEpoch, -1, uint64(c.stats.Epochs), 0, boundary, 0)
+		}
 		c.mit.OnEpoch(boundary)
 		c.sys.ResetEpoch()
 		c.stats.Epochs++
@@ -191,6 +208,9 @@ func (c *Controller) Flush() {
 
 func (c *Controller) flushPending(p *pendingActs) {
 	if p.n > 0 {
+		if rec := c.rec; rec != nil {
+			rec.SetNow(p.lastAt)
+		}
 		c.batcher.OnActivateN(p.id, p.row, p.physRow, p.lastAt, p.n)
 		p.n = 0
 	}
@@ -217,6 +237,9 @@ func (c *Controller) Access(line uint64, write bool, arrival int64) int64 {
 		start = blocked
 	}
 	start = c.sys.SkipRefresh(start)
+	if rec := c.rec; rec != nil && start > arrival {
+		rec.Observe(obs.HistStall, start-arrival)
+	}
 
 	// A refresh window that has elapsed since the bank's last command
 	// closes the row buffer.
@@ -258,6 +281,9 @@ func (c *Controller) Access(line uint64, write bool, arrival int64) int64 {
 		b.StatReads++
 	}
 	c.stats.TotalLatency += completion - arrival
+	if rec := c.rec; rec != nil {
+		rec.Observe(obs.HistAccess, completion-arrival)
+	}
 	return completion
 }
 
@@ -273,6 +299,10 @@ func (c *Controller) activate(id dram.BankID, b *dram.Bank, row, physRow int, st
 	if d := c.mit.ActivateDelay(id, row, start); d > 0 {
 		c.stats.ActDelayed += d
 		actAt = c.sys.SkipRefresh(start + d)
+	}
+	if rec := c.rec; rec != nil {
+		// The clock feeds RecordNow in the mitigation's RIT/tracker hooks.
+		rec.SetNow(actAt)
 	}
 	c.sys.Activate(id, physRow, actAt)
 	// A throttled (deprioritized) activation waits without holding the

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes the timeline's event stream as JSON Lines: one
+// event object per line, in chronological order. The format round-trips
+// through ReadJSONL, and each line is independently greppable/jq-able —
+// the shape `rrs-sim -events out.jsonl` produces.
+func WriteJSONL(w io.Writer, tl *Timeline) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range tl.Events {
+		if err := enc.Encode(&tl.Events[i]); err != nil {
+			return fmt.Errorf("obs: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes an event stream written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return events, fmt.Errorf("obs: decoding event %d: %w", len(events), err)
+		}
+		events = append(events, e)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Array Format"), loadable in Perfetto or chrome://tracing. Timestamps
+// and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit is advisory for the viewer.
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the timeline in the Chrome trace-event format
+// so Perfetto can render the run: one track (tid) per bank, duration
+// slices ("X") for channel-blocked intervals, instants ("i") for the
+// rest, and counter tracks ("C") for the per-epoch occupancy series.
+// cyclesPerMicrosecond converts bus cycles to the format's microsecond
+// timebase (1600 for the default 1.6 GHz bus; values <= 0 fall back to
+// 1 cycle = 1 µs, which preserves shape but not absolute time).
+func WriteChromeTrace(w io.Writer, tl *Timeline, cyclesPerMicrosecond float64) error {
+	if cyclesPerMicrosecond <= 0 {
+		cyclesPerMicrosecond = 1
+	}
+	us := func(cycles int64) float64 { return float64(cycles) / cyclesPerMicrosecond }
+
+	trace := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"total_events":   tl.TotalEvents,
+			"dropped_events": tl.DroppedEvents,
+		},
+	}
+	for i := range tl.Events {
+		e := &tl.Events[i]
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			Ts:   us(e.At),
+			TID:  int64(e.Bank),
+			Args: map[string]any{"a": e.A, "b": e.B},
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = us(e.Dur)
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+	for _, s := range tl.Samples {
+		trace.TraceEvents = append(trace.TraceEvents,
+			chromeEvent{Name: "rit_tuples", Ph: "C", Ts: us(s.At), TID: -1,
+				Args: map[string]any{"tuples": s.RITTuples}},
+			chromeEvent{Name: "hrt_rows", Ph: "C", Ts: us(s.At), TID: -1,
+				Args: map[string]any{"rows": s.HRTRows}},
+			chromeEvent{Name: "epoch_swaps", Ph: "C", Ts: us(s.At), TID: -1,
+				Args: map[string]any{"swaps": s.Swaps}})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTimeline() *Timeline {
+	r := NewRecorder(Config{RingSize: 16})
+	r.Record(KindSwap, 0, 100, 200, 1000, 0)
+	r.Record(KindChannelBlocked, 0, 100, 0, 1000, 2336)
+	r.SetNow(1500)
+	r.RecordNow(KindRITInstall, 0, 100, 200)
+	r.Record(KindEpoch, -1, 0, 0, 4096, 0)
+	r.Observe(HistSwapBlock, 2336)
+	r.Observe(HistRITOcc, 1)
+	r.Sample(EpochSample{Epoch: 0, At: 4096, Swaps: 1, RITTuples: 1, HRTRows: 3, BlockCycles: 2336})
+	return r.Timeline()
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tl := sampleTimeline()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(tl.Events) {
+		t.Fatalf("wrote %d lines for %d events", len(lines), len(tl.Events))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, tl.Events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tl.Events)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"kind\":\"swap\"}\nnot json\n")); err == nil {
+		t.Fatal("ReadJSONL accepted garbage")
+	}
+}
+
+func TestChromeTraceDecodes(t *testing.T) {
+	tl := sampleTimeline()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tl, 1600); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace does not decode: %v", err)
+	}
+	// 4 events + 3 counter entries for the single epoch sample.
+	if len(decoded.TraceEvents) != len(tl.Events)+3*len(tl.Samples) {
+		t.Fatalf("trace has %d entries, want %d", len(decoded.TraceEvents),
+			len(tl.Events)+3*len(tl.Samples))
+	}
+	byName := map[string]int{}
+	for _, e := range decoded.TraceEvents {
+		byName[e.Name]++
+	}
+	for _, name := range []string{"swap", "channel-blocked", "rit-install", "epoch",
+		"rit_tuples", "hrt_rows", "epoch_swaps"} {
+		if byName[name] == 0 {
+			t.Fatalf("trace missing %q entries (have %v)", name, byName)
+		}
+	}
+	for _, e := range decoded.TraceEvents {
+		switch e.Name {
+		case "channel-blocked":
+			if e.Ph != "X" {
+				t.Fatalf("channel-blocked rendered as ph=%q, want X", e.Ph)
+			}
+			// 2336 cycles at 1600 cycles/µs → 1.46 µs, the paper's swap cost.
+			if e.Dur != 2336.0/1600 {
+				t.Fatalf("dur = %v µs, want %v", e.Dur, 2336.0/1600)
+			}
+		case "swap":
+			if e.Ph != "i" {
+				t.Fatalf("swap rendered as ph=%q, want i", e.Ph)
+			}
+			if e.Ts != 1000.0/1600 {
+				t.Fatalf("ts = %v, want %v", e.Ts, 1000.0/1600)
+			}
+		case "rit_tuples":
+			if e.Ph != "C" || e.TID != -1 {
+				t.Fatalf("counter entry %+v, want ph=C tid=-1", e)
+			}
+		}
+	}
+}
+
+func TestChromeTraceZeroScaleFallsBack(t *testing.T) {
+	tl := sampleTimeline()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tl, 0); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	// With the 1-cycle-per-µs fallback, timestamps equal raw cycles.
+	if decoded.TraceEvents[0].Ts != 1000 {
+		t.Fatalf("ts = %v, want raw cycle count 1000", decoded.TraceEvents[0].Ts)
+	}
+}

@@ -1,0 +1,378 @@
+// Package obs is the simulation core's observability layer: a
+// ring-buffered, allocation-free event recorder plus per-component
+// histograms, capturing *when* things happen inside a run — swaps,
+// un-swaps, RIT and HRT churn, epoch resets, channel-blocked intervals —
+// where the engine's Result reports only end-of-run aggregates.
+//
+// The paper's headline numbers are time-series claims (swap stalls
+// clustering, ~1.46 µs per swap, RIT occupancy across a 64 ms epoch);
+// this package makes them visible: rrs-sim can dump the timeline as
+// JSONL or as a Chrome trace-event file loadable in Perfetto, and the
+// job service folds the histograms into its Prometheus registry.
+//
+// The discipline matches the paranoid layer (DESIGN.md §9): every hook
+// in core, rit, tracker and memctrl sits behind one nil test, so a run
+// without a Recorder is bit-identical and allocation-free — the alloc
+// tests and the bench-guard throughput floor hold with the hooks
+// compiled in. With a Recorder attached, statistics are still
+// bit-identical (the recorder only observes); only Result.Timeline is
+// added.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind identifies an event class. The taxonomy is documented in
+// DESIGN.md §10.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSwap is a first-time swap: logical row A relocates to random
+	// destination B (one swap operation, ~1.46 µs of channel time).
+	KindSwap Kind = iota + 1
+	// KindReswap is a swap of an already-swapped row: tuple <A,B>
+	// dissolves and both rows move to fresh destinations (the fused
+	// 4-row cycle, ~2.9 µs).
+	KindReswap
+	// KindUnswap is a lazy un-swap: RIT eviction restored stale tuple
+	// <A,B> to its home locations.
+	KindUnswap
+	// KindRITInstall is a new RIT tuple <A,B>.
+	KindRITInstall
+	// KindRITEvict is a random unlocked tuple <A,B> leaving the RIT.
+	KindRITEvict
+	// KindHRTInsert is row A entering the hot-row tracker at estimated
+	// count B.
+	KindHRTInsert
+	// KindHRTEvict is row A (estimated count B) displaced from the
+	// tracker by a minimum-count replacement.
+	KindHRTEvict
+	// KindHRTCross is row A's estimated count reaching B, crossing a
+	// multiple of the swap threshold — the trigger for a swap.
+	KindHRTCross
+	// KindEpoch is an epoch boundary: trackers reset, RIT locks clear,
+	// DRAM activation counters zero. A is the completed epoch index.
+	KindEpoch
+	// KindChannelBlocked is the channel being busy with mitigation data
+	// transfers for Dur cycles after a swap trigger on row A.
+	KindChannelBlocked
+	// KindAttack is the footnote-2 detector firing: physical location A
+	// absorbed enough swap events to flag an attack.
+	KindAttack
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindSwap:           "swap",
+	KindReswap:         "reswap",
+	KindUnswap:         "unswap",
+	KindRITInstall:     "rit-install",
+	KindRITEvict:       "rit-evict",
+	KindHRTInsert:      "hrt-insert",
+	KindHRTEvict:       "hrt-evict",
+	KindHRTCross:       "hrt-cross",
+	KindEpoch:          "epoch",
+	KindChannelBlocked: "channel-blocked",
+	KindAttack:         "attack-detected",
+}
+
+// String returns the stable wire name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// MarshalText implements encoding.TextMarshaler; events serialize kinds
+// by name so JSONL streams stay readable and stable across reorderings
+// of the enum.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *Kind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i := 1; i < len(kindNames); i++ {
+		if kindNames[i] == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one timeline entry. It is a fixed-size value with no
+// pointers, so the ring buffer is a single flat allocation.
+type Event struct {
+	// At is the event time in bus cycles.
+	At int64 `json:"at"`
+	// Dur is the event's extent in bus cycles (0 for instantaneous
+	// events; the channel-block length for KindChannelBlocked).
+	Dur int64 `json:"dur,omitempty"`
+	// Kind is the event class (serialized by name).
+	Kind Kind `json:"kind"`
+	// Bank is the flat bank index ((channel*ranks+rank)*banks+bank), or
+	// -1 for system-wide events (epoch boundaries).
+	Bank int32 `json:"bank"`
+	// A and B are the kind-specific operands (rows, counts, epoch
+	// indices — see the Kind doc comments).
+	A uint64 `json:"a,omitempty"`
+	B uint64 `json:"b,omitempty"`
+}
+
+// HistID names one of the recorder's fixed per-component histograms.
+type HistID uint8
+
+// Histogram identities.
+const (
+	// HistSwapBlock is channel-block cycles per swap trigger (the swap
+	// latency the paper prices at ~1.46 µs, ~2.9 µs for re-swaps).
+	HistSwapBlock HistID = iota
+	// HistStall is the cycles an access waited between arrival and its
+	// first DRAM command (channel blocked by swap transfers, refresh
+	// windows) — the memctrl queue/stall distribution.
+	HistStall
+	// HistAccess is total access latency in bus cycles (arrival to
+	// completion).
+	HistAccess
+	// HistRITOcc is RIT occupancy in tuples, sampled per bank at every
+	// epoch boundary.
+	HistRITOcc
+	// HistHRTOcc is hot-row tracker occupancy in entries, sampled per
+	// bank at every epoch boundary.
+	HistHRTOcc
+
+	numHists
+)
+
+var histNames = [numHists]string{
+	HistSwapBlock: "swap_block_cycles",
+	HistStall:     "stall_cycles",
+	HistAccess:    "access_cycles",
+	HistRITOcc:    "rit_occupancy",
+	HistHRTOcc:    "hrt_occupancy",
+}
+
+// String returns the histogram's stable export name.
+func (id HistID) String() string { return histNames[id] }
+
+// Hist is a fixed-geometry power-of-two histogram over non-negative
+// int64 samples: bucket i counts values whose bit length is i, i.e.
+// values in [2^(i-1), 2^i - 1] (bucket 0 holds exactly the zeros).
+// Observing is one array increment — no allocation, no search.
+type Hist struct {
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [65]int64
+}
+
+// Observe records one sample; negative values clamp to 0 (they cannot
+// occur from cycle arithmetic, but a histogram must not corrupt its
+// geometry on a caller bug).
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// BucketCount is one exported histogram bucket: Count samples were
+// ≤ LE (and above the previous bucket's LE).
+type BucketCount struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistView is the JSON projection of a histogram; empty buckets are
+// omitted.
+type HistView struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	Mean    float64       `json:"mean"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// View exports the histogram.
+func (h *Hist) View() HistView {
+	v := HistView{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		v.Mean = float64(h.sum) / float64(h.count)
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		le := int64(1)<<uint(i) - 1 // bucket i spans [2^(i-1), 2^i - 1]
+		v.Buckets = append(v.Buckets, BucketCount{LE: le, Count: c})
+	}
+	return v
+}
+
+// EpochSample is one point of the per-epoch time series the recorder
+// accumulates: the state of the mitigation at an epoch boundary, before
+// trackers reset.
+type EpochSample struct {
+	// Epoch is the completed epoch's index (0-based).
+	Epoch int64 `json:"epoch"`
+	// At is the boundary time in bus cycles.
+	At int64 `json:"at"`
+	// Swaps is the number of swap events in the completed epoch.
+	Swaps int64 `json:"swaps"`
+	// RITTuples and HRTRows are total occupancy across all banks at the
+	// boundary (per-bank distributions live in the rit_occupancy and
+	// hrt_occupancy histograms).
+	RITTuples int64 `json:"rit_tuples"`
+	HRTRows   int64 `json:"hrt_rows"`
+	// BlockCycles is the cumulative channel-block time spent on swap
+	// transfers through the end of this epoch.
+	BlockCycles int64 `json:"block_cycles"`
+}
+
+// DefaultRingSize is the event-ring capacity when Config leaves it 0
+// (64 Ki events ≈ 3 MiB).
+const DefaultRingSize = 1 << 16
+
+// Config sizes a Recorder.
+type Config struct {
+	// RingSize caps the event ring: 0 picks DefaultRingSize, a negative
+	// value disables event recording entirely (histograms and epoch
+	// samples are still collected — the shape the job service uses,
+	// where per-event timelines would outlive their usefulness).
+	RingSize int
+}
+
+// Recorder collects events, histograms and epoch samples for one run.
+// It is single-goroutine, like the simulation loop that feeds it; all
+// record paths are allocation-free (the ring is preallocated, histogram
+// buckets are fixed arrays).
+//
+// The ring keeps the newest events: once full, each Record overwrites
+// the oldest entry and Dropped grows. Timeline unrolls the ring into
+// chronological order.
+type Recorder struct {
+	ring  []Event
+	pos   int   // next write index
+	total int64 // events ever recorded
+	now   int64 // timestamp for RecordNow (set by the memory controller)
+
+	hists   [numHists]Hist
+	samples []EpochSample
+}
+
+// NewRecorder builds a recorder for one run.
+func NewRecorder(cfg Config) *Recorder {
+	n := cfg.RingSize
+	if n == 0 {
+		n = DefaultRingSize
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Recorder{
+		ring:    make([]Event, n),
+		samples: make([]EpochSample, 0, 64),
+	}
+}
+
+// SetNow updates the recorder's clock; the memory controller calls it
+// as simulated time advances so components without a time argument
+// (RIT installs, tracker churn) can stamp events via RecordNow.
+func (r *Recorder) SetNow(t int64) { r.now = t }
+
+// Now returns the recorder's current clock.
+func (r *Recorder) Now() int64 { return r.now }
+
+// Record appends an event with an explicit timestamp and duration.
+func (r *Recorder) Record(k Kind, bank int32, a, b uint64, at, dur int64) {
+	r.total++
+	if len(r.ring) == 0 {
+		return
+	}
+	r.ring[r.pos] = Event{At: at, Dur: dur, Kind: k, Bank: bank, A: a, B: b}
+	r.pos++
+	if r.pos == len(r.ring) {
+		r.pos = 0
+	}
+}
+
+// RecordNow appends an instantaneous event stamped with the recorder's
+// clock.
+func (r *Recorder) RecordNow(k Kind, bank int32, a, b uint64) {
+	r.Record(k, bank, a, b, r.now, 0)
+}
+
+// Observe adds one sample to a named histogram.
+func (r *Recorder) Observe(id HistID, v int64) { r.hists[id].Observe(v) }
+
+// Sample appends one epoch sample.
+func (r *Recorder) Sample(s EpochSample) { r.samples = append(r.samples, s) }
+
+// Events returns how many events were recorded (kept or dropped).
+func (r *Recorder) Events() int64 { return r.total }
+
+// Timeline is the exported form of a run's recording — the value
+// sim.Result carries and the JSONL / Chrome-trace writers consume.
+type Timeline struct {
+	// Events is the kept event stream in chronological order. When
+	// TotalEvents exceeds len(Events), the ring dropped the oldest
+	// DroppedEvents entries.
+	Events        []Event `json:"events,omitempty"`
+	TotalEvents   int64   `json:"total_events"`
+	DroppedEvents int64   `json:"dropped_events,omitempty"`
+	// Histograms maps HistID names (swap_block_cycles, stall_cycles,
+	// access_cycles, rit_occupancy, hrt_occupancy) to their views;
+	// histograms that saw no samples are omitted.
+	Histograms map[string]HistView `json:"histograms,omitempty"`
+	// Samples is the per-epoch time series.
+	Samples []EpochSample `json:"epoch_samples,omitempty"`
+}
+
+// Timeline exports the recorder's state. The returned value owns fresh
+// slices; the recorder may keep recording afterwards.
+func (r *Recorder) Timeline() *Timeline {
+	tl := &Timeline{
+		TotalEvents: r.total,
+		Samples:     append([]EpochSample(nil), r.samples...),
+	}
+	kept := r.total
+	if kept > int64(len(r.ring)) {
+		kept = int64(len(r.ring))
+	}
+	tl.DroppedEvents = r.total - kept
+	if kept > 0 {
+		tl.Events = make([]Event, 0, kept)
+		if r.total >= int64(len(r.ring)) {
+			// Full ring: the oldest kept event sits at the write position.
+			tl.Events = append(tl.Events, r.ring[r.pos:]...)
+			tl.Events = append(tl.Events, r.ring[:r.pos]...)
+		} else {
+			tl.Events = append(tl.Events, r.ring[:r.pos]...)
+		}
+	}
+	for id := HistID(0); id < numHists; id++ {
+		if r.hists[id].count == 0 {
+			continue
+		}
+		if tl.Histograms == nil {
+			tl.Histograms = make(map[string]HistView, int(numHists))
+		}
+		tl.Histograms[id.String()] = r.hists[id].View()
+	}
+	return tl
+}

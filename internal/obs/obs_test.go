@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(1); k < numKinds; k++ {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%d): %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("kind %d round-tripped to %d via %q", k, back, b)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("no-such-kind")); err == nil {
+		t.Fatal("UnmarshalText accepted an unknown kind")
+	}
+}
+
+func TestEventJSONUsesKindNames(t *testing.T) {
+	e := Event{At: 42, Kind: KindRITInstall, Bank: 3, A: 10, B: 20}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m["kind"]; got != "rit-install" {
+		t.Fatalf("kind serialized as %v, want %q", got, "rit-install")
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatalf("event round-trip: got %+v want %+v", back, e)
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(KindSwap, 0, uint64(i), 0, int64(i), 0)
+	}
+	tl := r.Timeline()
+	if tl.TotalEvents != 10 || tl.DroppedEvents != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", tl.TotalEvents, tl.DroppedEvents)
+	}
+	if len(tl.Events) != 4 {
+		t.Fatalf("kept %d events, want 4", len(tl.Events))
+	}
+	for i, e := range tl.Events {
+		if want := uint64(6 + i); e.A != want || e.At != int64(want) {
+			t.Fatalf("event %d = %+v, want A=At=%d (newest in order)", i, e, want)
+		}
+	}
+}
+
+func TestRingExactlyFull(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 4})
+	for i := 0; i < 4; i++ {
+		r.Record(KindSwap, 0, uint64(i), 0, int64(i), 0)
+	}
+	tl := r.Timeline()
+	if tl.DroppedEvents != 0 {
+		t.Fatalf("dropped %d events from an exactly-full ring", tl.DroppedEvents)
+	}
+	if len(tl.Events) != 4 {
+		t.Fatalf("kept %d events, want 4", len(tl.Events))
+	}
+	for i, e := range tl.Events {
+		if e.A != uint64(i) {
+			t.Fatalf("event %d = %+v, want A=%d", i, e, i)
+		}
+	}
+}
+
+func TestRingPartiallyFull(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 8})
+	r.Record(KindSwap, 1, 7, 9, 100, 0)
+	r.RecordNow(KindUnswap, 2, 3, 4)
+	tl := r.Timeline()
+	if tl.TotalEvents != 2 || tl.DroppedEvents != 0 || len(tl.Events) != 2 {
+		t.Fatalf("timeline %+v, want 2 kept events", tl)
+	}
+	if tl.Events[0].Kind != KindSwap || tl.Events[1].Kind != KindUnswap {
+		t.Fatalf("wrong order: %+v", tl.Events)
+	}
+}
+
+func TestNegativeRingSizeDisablesEvents(t *testing.T) {
+	r := NewRecorder(Config{RingSize: -1})
+	r.Record(KindSwap, 0, 1, 2, 3, 0)
+	r.Observe(HistStall, 12)
+	tl := r.Timeline()
+	if len(tl.Events) != 0 {
+		t.Fatalf("hist-only recorder kept events: %+v", tl.Events)
+	}
+	if tl.TotalEvents != 1 || tl.DroppedEvents != 1 {
+		t.Fatalf("total=%d dropped=%d, want 1/1", tl.TotalEvents, tl.DroppedEvents)
+	}
+	if tl.Histograms["stall_cycles"].Count != 1 {
+		t.Fatalf("histogram missing: %+v", tl.Histograms)
+	}
+}
+
+func TestRecordNowUsesClock(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 4})
+	r.SetNow(555)
+	r.RecordNow(KindHRTInsert, 1, 2, 3)
+	if got := r.Timeline().Events[0].At; got != 555 {
+		t.Fatalf("RecordNow stamped %d, want 555", got)
+	}
+	if r.Now() != 555 {
+		t.Fatalf("Now() = %d, want 555", r.Now())
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, -5} {
+		h.Observe(v)
+	}
+	v := h.View()
+	if v.Count != 7 {
+		t.Fatalf("count=%d, want 7", v.Count)
+	}
+	if v.Min != 0 || v.Max != 100 {
+		t.Fatalf("min=%d max=%d, want 0/100", v.Min, v.Max)
+	}
+	if v.Sum != 110 { // -5 clamps to 0
+		t.Fatalf("sum=%d, want 110", v.Sum)
+	}
+	if want := 110.0 / 7; v.Mean != want {
+		t.Fatalf("mean=%v, want %v", v.Mean, want)
+	}
+	// Buckets: le=0 holds {0,-5}; le=1 holds {1}; le=3 holds {2,3};
+	// le=7 holds {4}; le=127 holds {100}.
+	want := []BucketCount{
+		{LE: 0, Count: 2},
+		{LE: 1, Count: 1},
+		{LE: 3, Count: 2},
+		{LE: 7, Count: 1},
+		{LE: 127, Count: 1},
+	}
+	if !reflect.DeepEqual(v.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", v.Buckets, want)
+	}
+}
+
+func TestHistEmptyViewOmitted(t *testing.T) {
+	r := NewRecorder(Config{RingSize: -1})
+	tl := r.Timeline()
+	if tl.Histograms != nil {
+		t.Fatalf("empty recorder exported histograms: %+v", tl.Histograms)
+	}
+}
+
+func TestEpochSamplesExported(t *testing.T) {
+	r := NewRecorder(Config{RingSize: -1})
+	r.Sample(EpochSample{Epoch: 0, At: 10, Swaps: 3, RITTuples: 5, HRTRows: 7, BlockCycles: 100})
+	r.Sample(EpochSample{Epoch: 1, At: 20, Swaps: 1, RITTuples: 6, HRTRows: 2, BlockCycles: 140})
+	tl := r.Timeline()
+	if len(tl.Samples) != 2 || tl.Samples[1].Epoch != 1 || tl.Samples[1].BlockCycles != 140 {
+		t.Fatalf("samples = %+v", tl.Samples)
+	}
+	// The exported slice must be a copy.
+	tl.Samples[0].Swaps = 999
+	if r.Timeline().Samples[0].Swaps != 3 {
+		t.Fatal("Timeline shares the recorder's sample slice")
+	}
+}
+
+// TestRecordAllocFree pins the hot-path contract: recording an event or
+// a histogram sample never allocates.
+func TestRecordAllocFree(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 1024})
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(KindSwap, 3, 17, 42, 1000, 2336)
+		r.RecordNow(KindHRTCross, 3, 17, 8000)
+		r.Observe(HistSwapBlock, 2336)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cat"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/prince"
 )
 
@@ -62,6 +63,18 @@ type RIT struct {
 	// mode replays every mutation into; Remap answers are cross-checked
 	// against it. The hot path pays exactly one nil test when disabled.
 	shadow *shadow
+
+	// rec, when non-nil, receives install/evict events (same one-nil-test
+	// discipline as shadow); bank is the flat bank index stamped on them.
+	rec     *obs.Recorder
+	obsBank int32
+}
+
+// SetObs attaches an event recorder; install and eviction events are
+// stamped with the recorder's clock and the given flat bank index.
+func (r *RIT) SetObs(rec *obs.Recorder, bank int32) {
+	r.rec = rec
+	r.obsBank = bank
 }
 
 // maxBitsetRows bounds the presence bitset at 512 KiB so adversarial
@@ -199,6 +212,9 @@ func (r *RIT) Install(x, y uint64) (ev Eviction, ok bool, err error) {
 	if sh := r.shadow; sh != nil {
 		sh.install(x, y)
 	}
+	if rec := r.rec; rec != nil {
+		rec.RecordNow(obs.KindRITInstall, r.obsBank, x, y)
+	}
 	return ev, true, nil
 }
 
@@ -239,6 +255,9 @@ func (r *RIT) EvictRandomUnlocked() (x, y uint64, ok bool) {
 	r.tuples--
 	if sh := r.shadow; sh != nil {
 		sh.evict(x, y)
+	}
+	if rec := r.rec; rec != nil {
+		rec.RecordNow(obs.KindRITEvict, r.obsBank, x, y)
 	}
 	return x, y, true
 }

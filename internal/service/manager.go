@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 )
@@ -102,6 +103,15 @@ type JobView struct {
 	Finished  string `json:"finished_at,omitempty"`
 	// RunSeconds is wall-clock simulation time for finished jobs.
 	RunSeconds float64 `json:"run_seconds,omitempty"`
+	// Phase is the human-readable stage of the job ("queued",
+	// "simulating", "cached", "done", "failed", "cancelled").
+	Phase string `json:"phase,omitempty"`
+	// Epoch and TotalEpochs report simulated-epoch progress for
+	// epoch-bounded runs (Spec.Epochs > 0). Such runs are cycle-bounded,
+	// and epochs are fixed-length cycle spans, so the cycle-based
+	// progress fraction maps linearly onto completed epochs.
+	Epoch       int64 `json:"epoch,omitempty"`
+	TotalEpochs int64 `json:"total_epochs,omitempty"`
 }
 
 // Snapshot returns a consistent copy for serialization.
@@ -127,6 +137,21 @@ func (j *Job) Snapshot() JobView {
 		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
 		if !j.started.IsZero() {
 			v.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	switch {
+	case j.state == StateRunning:
+		v.Phase = "simulating"
+	case j.cacheHit:
+		v.Phase = "cached"
+	default:
+		v.Phase = string(j.state)
+	}
+	if n := int64(j.spec.Epochs); n > 0 {
+		v.TotalEpochs = n
+		v.Epoch = int64(j.progress * float64(n))
+		if v.Epoch > n {
+			v.Epoch = n
 		}
 	}
 	return v
@@ -186,9 +211,23 @@ type Manager struct {
 	busy    int64 // workers mid-run, under mu
 	workers sync.WaitGroup
 
+	// lastRun holds hardware-level aggregates folded from the most
+	// recently completed simulation's timeline, read by gauge callbacks
+	// at scrape time.
+	lastRunMu sync.Mutex
+	lastRun   lastRunStats
+
 	// runJob is the simulation entry point; tests substitute a stub to
 	// make scheduling behaviour observable without real simulations.
 	runJob RunFunc
+}
+
+// lastRunStats are per-run occupancy/stall aggregates derived from the
+// observability histograms of the last finished simulation.
+type lastRunStats struct {
+	ritOccMean, ritOccPeak float64
+	hrtOccMean, hrtOccPeak float64
+	stallMean              float64
 }
 
 // RunFunc executes one simulation on behalf of the manager. Errors it
@@ -240,6 +279,11 @@ func NewManager(opts Options) *Manager {
 }
 
 // runSpec is the production runJob: compile the spec and run the engine.
+// Every run carries a histogram-only recorder (RingSize < 0 disables the
+// per-event ring): the manager folds the occupancy/stall aggregates into
+// its Prometheus registry and strips the timeline before the result is
+// cached, so client payloads and the content-addressed cache are
+// byte-identical to an unobserved run.
 func runSpec(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error) {
 	opts, err := spec.Options()
 	if err != nil {
@@ -247,25 +291,31 @@ func runSpec(ctx context.Context, spec Spec, progress func(done, total int64)) (
 	}
 	opts.Context = ctx
 	opts.Progress = progress
+	opts.Events = &obs.Config{RingSize: -1}
 	return sim.Run(opts)
 }
 
 func (m *Manager) registerMetrics() {
 	for name, help := range map[string]string{
-		"rrs_jobs_submitted_total": "Jobs accepted by POST /v1/jobs or Submit.",
-		"rrs_jobs_done_total":      "Jobs that finished with a result (cache hits included).",
-		"rrs_jobs_failed_total":    "Jobs that ended in error (timeouts included).",
-		"rrs_jobs_cancelled_total": "Jobs cancelled before completing.",
-		"rrs_jobs_rejected_total":  "Submissions refused by a full queue.",
-		"rrs_jobs_coalesced_total": "Submissions answered by an already queued or running job with the same spec hash.",
-		"rrs_jobs_restored_total":  "Jobs restored from the journal at startup (pending re-enqueues plus terminal records).",
-		"rrs_cache_hits_total":     "Submissions answered from the result cache.",
-		"rrs_cache_misses_total":   "Submissions that required a simulation.",
-		"rrs_runs_started_total":   "Simulations handed to a worker.",
-		"rrs_job_retries_total":    "Automatic re-runs of jobs whose run failed transiently.",
-		"rrs_worker_panics_total":  "Panics recovered inside a worker's simulation run.",
-		"rrs_http_panics_total":    "Panics recovered by the HTTP middleware.",
-		"rrs_journal_errors_total": "Journal append failures (the job proceeds; durability is degraded).",
+		"rrs_jobs_submitted_total":        "Jobs accepted by POST /v1/jobs or Submit.",
+		"rrs_jobs_done_total":             "Jobs that finished with a result (cache hits included).",
+		"rrs_jobs_failed_total":           "Jobs that ended in error (timeouts included).",
+		"rrs_jobs_cancelled_total":        "Jobs cancelled before completing.",
+		"rrs_jobs_rejected_total":         "Submissions refused by a full queue.",
+		"rrs_jobs_coalesced_total":        "Submissions answered by an already queued or running job with the same spec hash.",
+		"rrs_jobs_restored_total":         "Jobs restored from the journal at startup (pending re-enqueues plus terminal records).",
+		"rrs_cache_hits_total":            "Submissions answered from the result cache.",
+		"rrs_cache_misses_total":          "Submissions that required a simulation.",
+		"rrs_runs_started_total":          "Simulations handed to a worker.",
+		"rrs_job_retries_total":           "Automatic re-runs of jobs whose run failed transiently.",
+		"rrs_worker_panics_total":         "Panics recovered inside a worker's simulation run.",
+		"rrs_http_panics_total":           "Panics recovered by the HTTP middleware.",
+		"rrs_journal_errors_total":        "Journal append failures (the job proceeds; durability is degraded).",
+		"rrs_sim_epochs_total":            "Simulated epochs completed across all finished runs.",
+		"rrs_sim_swaps_total":             "RRS row swaps performed across all finished runs.",
+		"rrs_sim_accesses_total":          "Memory accesses simulated across all finished runs.",
+		"rrs_sim_stall_cycles_total":      "Bus cycles accesses spent queued behind a busy bank or channel, summed across finished runs.",
+		"rrs_sim_swap_block_cycles_total": "Bus cycles the channel was blocked by swap/reswap operations, summed across finished runs.",
 	} {
 		m.met.Counter(name, help)
 	}
@@ -293,6 +343,66 @@ func (m *Manager) registerMetrics() {
 			fmt.Sprintf("Tracked jobs in state %q.", state),
 			func() float64 { return float64(m.countState(state)) })
 	}
+	for name, read := range map[string]struct {
+		help string
+		fn   func(s lastRunStats) float64
+	}{
+		"rrs_last_run_rit_occupancy_mean": {"Mean per-bank RIT tuple count at epoch boundaries, last finished run.",
+			func(s lastRunStats) float64 { return s.ritOccMean }},
+		"rrs_last_run_rit_occupancy_peak": {"Peak per-bank RIT tuple count at epoch boundaries, last finished run.",
+			func(s lastRunStats) float64 { return s.ritOccPeak }},
+		"rrs_last_run_hrt_occupancy_mean": {"Mean per-bank HRT row count at epoch boundaries, last finished run.",
+			func(s lastRunStats) float64 { return s.hrtOccMean }},
+		"rrs_last_run_hrt_occupancy_peak": {"Peak per-bank HRT row count at epoch boundaries, last finished run.",
+			func(s lastRunStats) float64 { return s.hrtOccPeak }},
+		"rrs_last_run_stall_cycles_mean": {"Mean queueing stall per delayed access in bus cycles, last finished run.",
+			func(s lastRunStats) float64 { return s.stallMean }},
+	} {
+		fn := read.fn
+		m.met.Gauge(name, read.help, func() float64 {
+			m.lastRunMu.Lock()
+			defer m.lastRunMu.Unlock()
+			return fn(m.lastRun)
+		})
+	}
+}
+
+// foldTimeline absorbs a finished run's observability aggregates into
+// the registry — counters accumulate across runs, the last-run gauges
+// are replaced — so the timeline itself can be dropped before the
+// result enters the cache and the job table.
+func (m *Manager) foldTimeline(tl *obs.Timeline) {
+	if tl == nil { // stubbed RunFunc, or a future events-off path
+		return
+	}
+	var swaps int64
+	for _, s := range tl.Samples {
+		swaps += s.Swaps
+	}
+	m.met.Inc("rrs_sim_epochs_total", int64(len(tl.Samples)))
+	m.met.Inc("rrs_sim_swaps_total", swaps)
+	m.met.Inc("rrs_sim_accesses_total", tl.Histograms[obs.HistAccess.String()].Count)
+	m.met.Inc("rrs_sim_stall_cycles_total", tl.Histograms[obs.HistStall.String()].Sum)
+	m.met.Inc("rrs_sim_swap_block_cycles_total", tl.Histograms[obs.HistSwapBlock.String()].Sum)
+
+	mean := func(h obs.HistView) float64 {
+		if h.Count == 0 {
+			return 0
+		}
+		return float64(h.Sum) / float64(h.Count)
+	}
+	rit := tl.Histograms[obs.HistRITOcc.String()]
+	hrt := tl.Histograms[obs.HistHRTOcc.String()]
+	stall := tl.Histograms[obs.HistStall.String()]
+	m.lastRunMu.Lock()
+	m.lastRun = lastRunStats{
+		ritOccMean: mean(rit),
+		ritOccPeak: float64(rit.Max),
+		hrtOccMean: mean(hrt),
+		hrtOccPeak: float64(hrt.Max),
+		stallMean:  mean(stall),
+	}
+	m.lastRunMu.Unlock()
 }
 
 func (m *Manager) countState(s State) int {
@@ -589,8 +699,12 @@ func (m *Manager) runOne(j *Job) {
 	switch {
 	case err == nil:
 		// Drop the live hardware model before the result outlives the
-		// run in the cache and job table.
+		// run in the cache and job table, and fold the observability
+		// aggregates into the metrics registry so the cached result is
+		// identical to an unobserved run's.
 		res.Mitigation = nil
+		m.foldTimeline(res.Timeline)
+		res.Timeline = nil
 		m.cache.Put(j.hash, res)
 		start := j.started
 		m.finish(j, StateDone, "", &res)

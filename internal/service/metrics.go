@@ -76,8 +76,18 @@ func (m *Metrics) Gauge(name, help string, fn func() float64) {
 	m.gaugeHelp[name] = help
 }
 
-// ObserveLatency records one job's run duration in seconds.
+// ObserveLatency records one job's run duration in seconds. Non-finite
+// samples are dropped and negative ones clamp to zero: monotonic-clock
+// edge cases (VM suspend/resume, clock steps on hosts without monotonic
+// reads) can hand the caller a negative or NaN duration, and a single
+// NaN would poison latencySum — and every scrape after it — forever.
 func (m *Metrics) ObserveLatency(seconds float64) {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return
+	}
+	if seconds < 0 {
+		seconds = 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	i := sort.SearchFloat64s(latencyBuckets, seconds)

@@ -1,6 +1,9 @@
 package service
 
 import (
+	"math"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -66,5 +69,105 @@ func TestMetricsJSONView(t *testing.T) {
 	}
 	if len(v.Latency.Buckets) != len(latencyBuckets)+1 {
 		t.Errorf("bucket count = %d, want %d", len(v.Latency.Buckets), len(latencyBuckets)+1)
+	}
+}
+
+// TestObserveLatencyRejectsPoison is the regression test for NaN/negative
+// ingestion: a single NaN used to poison latencySum (and every scrape
+// after it) forever, and negative durations — possible under clock steps
+// on hosts without monotonic reads — dragged the sum backwards.
+func TestObserveLatencyRejectsPoison(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveLatency(math.NaN())
+	m.ObserveLatency(math.Inf(1))
+	m.ObserveLatency(math.Inf(-1))
+	m.ObserveLatency(-5) // clamps to 0, still counted
+	m.ObserveLatency(0.3)
+
+	v := m.JSON()
+	if v.Latency.Count != 2 {
+		t.Errorf("count = %d, want 2 (NaN/±Inf dropped, negative kept)", v.Latency.Count)
+	}
+	if v.Latency.Sum != 0.3 {
+		t.Errorf("sum = %v, want 0.3", v.Latency.Sum)
+	}
+	if math.IsNaN(v.Latency.Sum) {
+		t.Fatal("latencySum poisoned by NaN")
+	}
+	// The clamped negative lands in the smallest bucket.
+	if got := v.Latency.Buckets[0].Count; got != 1 {
+		t.Errorf("smallest bucket = %d, want 1 (clamped negative)", got)
+	}
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Errorf("exposition renders NaN:\n%s", sb.String())
+	}
+}
+
+// TestLatencyBucketBoundaryInclusive pins Prometheus `le` semantics: a
+// sample exactly equal to a bucket's upper bound belongs in that bucket,
+// not the next one.
+func TestLatencyBucketBoundaryInclusive(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveLatency(0.005) // exactly the first bound
+	m.ObserveLatency(0.5)   // exactly a middle bound
+	m.ObserveLatency(600)   // exactly the last finite bound
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`rrs_job_run_seconds_bucket{le="0.005"} 1`,
+		`rrs_job_run_seconds_bucket{le="0.5"} 2`,
+		`rrs_job_run_seconds_bucket{le="600"} 3`,
+		`rrs_job_run_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLatencyHistogramCumulativeMonotone checks the rendered bucket
+// series is non-decreasing in le order and that +Inf equals _count — the
+// two structural invariants Prometheus clients assume of a histogram.
+func TestLatencyHistogramCumulativeMonotone(t *testing.T) {
+	m := NewMetrics()
+	for _, s := range []float64{0.001, 0.05, 0.05, 0.7, 3, 45, 200, 1e9} {
+		m.ObserveLatency(s)
+	}
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`rrs_job_run_seconds_bucket\{le="([^"]+)"\} (\d+)`)
+	matches := re.FindAllStringSubmatch(sb.String(), -1)
+	if len(matches) != len(latencyBuckets)+1 {
+		t.Fatalf("rendered %d buckets, want %d", len(matches), len(latencyBuckets)+1)
+	}
+	prev := int64(-1)
+	var last int64
+	for _, mt := range matches {
+		n, err := strconv.ParseInt(mt[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Errorf("bucket le=%s count %d < previous %d: not cumulative", mt[1], n, prev)
+		}
+		prev, last = n, n
+	}
+	if matches[len(matches)-1][1] != "+Inf" {
+		t.Errorf("last bucket is le=%q, want +Inf", matches[len(matches)-1][1])
+	}
+	if got := m.JSON().Latency.Count; last != got {
+		t.Errorf("+Inf bucket %d != count %d", last, got)
 	}
 }

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// eventsRun executes the standard seeded RRS case, optionally with the
+// observability layer attached.
+func eventsRun(t *testing.T, events *obs.Config) Result {
+	t.Helper()
+	w, ok := trace.ByName("hmmer")
+	if !ok {
+		t.Fatal("unknown workload hmmer")
+	}
+	cfg := testConfig()
+	res, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          cfg.EpochCycles,
+		Seed:                3,
+		Mitigation:          rrsFactory,
+		Events:              events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEventsOnBitIdenticalStats is the zero-interference contract: a run
+// with the recorder attached produces bit-identical statistics to the
+// same run without it — the recorder only observes. This is what lets
+// the job service enable histogram collection on every production run
+// without invalidating its content-addressed result cache.
+func TestEventsOnBitIdenticalStats(t *testing.T) {
+	off := eventsRun(t, nil)
+	on := eventsRun(t, &obs.Config{})
+	if on.Timeline == nil {
+		t.Fatal("events-on run has no Timeline")
+	}
+	if off.Timeline != nil {
+		t.Fatal("events-off run has a Timeline")
+	}
+	on.Timeline = nil
+	off.Mitigation, on.Mitigation = nil, nil
+	off.Invariants, on.Invariants = nil, nil
+	if !reflect.DeepEqual(off, on) {
+		offJSON, _ := json.MarshalIndent(off, "", "  ")
+		onJSON, _ := json.MarshalIndent(on, "", "  ")
+		t.Errorf("stats diverge with events on\noff: %s\non:  %s", offJSON, onJSON)
+	}
+}
+
+// TestEventsTimelineShape sanity-checks the recording of a seeded RRS
+// epoch: swaps appear in the event stream, the histograms the hooks feed
+// are populated, and the epoch boundary produced a sample consistent
+// with the run's stats.
+func TestEventsTimelineShape(t *testing.T) {
+	res := eventsRun(t, &obs.Config{})
+	tl := res.Timeline
+	if tl.TotalEvents == 0 || len(tl.Events) == 0 {
+		t.Fatal("no events recorded for an RRS attack epoch")
+	}
+	kinds := map[obs.Kind]int{}
+	for _, e := range tl.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.KindSwap, obs.KindChannelBlocked, obs.KindRITInstall,
+		obs.KindHRTInsert, obs.KindHRTCross, obs.KindEpoch} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events recorded (have %v)", k, kinds)
+		}
+	}
+	for _, name := range []string{"swap_block_cycles", "access_cycles", "rit_occupancy", "hrt_occupancy"} {
+		if tl.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s saw no samples", name)
+		}
+	}
+	if len(tl.Samples) == 0 {
+		t.Fatal("no epoch samples recorded")
+	}
+	// The boundary sample's swap count is the epoch's swap total, which
+	// for this single-epoch run is the result's per-epoch average.
+	if got, want := float64(tl.Samples[0].Swaps), res.SwapsPerEpoch; got != want {
+		t.Errorf("epoch sample says %v swaps, result says %v", got, want)
+	}
+}
+
+// TestGoldenEventStream pins the exact event stream of a seeded run with
+// a small ring (the newest 256 events of the epoch), the same way
+// golden_stats.json pins the statistics: the timeline is a pure function
+// of (config, workload, seed), so any drift means the engine's observed
+// behavior changed. Regenerate with
+//
+//	go test ./internal/sim -run TestGoldenEventStream -update
+//
+// only for an intentional behavioral change, and say so in the commit.
+func TestGoldenEventStream(t *testing.T) {
+	res := eventsRun(t, &obs.Config{RingSize: 256})
+	got := res.Timeline
+	path := filepath.Join("testdata", "golden_events.json")
+
+	if *updateGolden {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d events", path, len(got.Events))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden events (run with -update to create them): %v", err)
+	}
+	var want obs.Timeline
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Errorf("event stream diverges from golden (regenerate with -update if intentional)\ngot: %s", gotJSON)
+	}
+}

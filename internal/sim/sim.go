@@ -23,6 +23,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/invariant"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
@@ -96,6 +97,14 @@ type Options struct {
 	// Deadline, when positive, bounds the run's wall-clock time;
 	// exceeding it fails the run with ErrDeadline.
 	Deadline time.Duration
+	// Events, when non-nil, enables the observability layer: an event
+	// recorder is attached to the memory controller and (for RRS runs)
+	// the mitigation, and Result.Timeline carries the recorded event
+	// stream, component histograms and per-epoch samples. Statistics are
+	// bit-identical either way — the recorder only observes. A negative
+	// Events.RingSize keeps the histograms and samples but drops the
+	// per-event stream (the job service's shape).
+	Events *obs.Config
 }
 
 // envParanoid reports whether RRS_PARANOID=1 forces paranoid mode on.
@@ -138,6 +147,10 @@ type Result struct {
 	// run was not paranoid, so non-paranoid results (and their JSON and
 	// golden-test forms) are unchanged.
 	Invariants *invariant.Summary `json:"invariants,omitempty"`
+	// Timeline is the observability recording; nil unless Options.Events
+	// was set, so results without it (and their JSON and golden-test
+	// forms) are unchanged.
+	Timeline *obs.Timeline `json:"timeline,omitempty"`
 }
 
 // catalogCadence is how many checkInterval poll points pass between full
@@ -214,6 +227,15 @@ func Run(opts Options) (Result, error) {
 		}
 	}
 	ctl := memctrl.New(sys, mit)
+
+	var rec *obs.Recorder
+	if opts.Events != nil {
+		rec = obs.NewRecorder(*opts.Events)
+		ctl.SetRecorder(rec)
+		if r, ok := mit.(*core.RRS); ok {
+			r.EnableObs(rec)
+		}
+	}
 
 	paranoid := opts.Paranoid || envParanoid()
 	var guards *runGuards
@@ -408,6 +430,9 @@ func Run(opts Options) (Result, error) {
 		s := guards.eng.Summary()
 		res.Invariants = &s
 	}
+	if rec != nil {
+		res.Timeline = rec.Timeline()
+	}
 	report(progressTotal)
 	return res, nil
 }
@@ -432,6 +457,11 @@ type offsetReader struct {
 // Next implements trace.Reader.
 func (o *offsetReader) Next() (trace.Record, bool) {
 	rec, ok := o.r.Next()
+	if !ok {
+		// Do not rewrite the zero record at EOF: the offset/mod arithmetic
+		// would fabricate a non-zero line for a record that does not exist.
+		return trace.Record{}, false
+	}
 	rec.Line = (rec.Line + o.offset) % o.mod
 	return rec, ok
 }

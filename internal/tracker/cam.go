@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/invariant"
+	"repro/internal/obs"
 )
 
 // CAM is the reference Misra-Gries tracker: a fully associative
@@ -55,6 +56,16 @@ type CAM struct {
 	lastEvicted  uint64
 	evictLie     bool   // test hook: LastEvicted lies
 	evictLieRow  uint64 // the row it lies about
+
+	// rec, when non-nil, receives insert/evict/crossing events (ObsTarget).
+	rec     *obs.Recorder
+	obsBank int32
+}
+
+// SetObs implements ObsTarget.
+func (c *CAM) SetObs(rec *obs.Recorder, bank int32) {
+	c.rec = rec
+	c.obsBank = bank
 }
 
 var (
@@ -160,7 +171,11 @@ func (c *CAM) Observe(row uint64) bool {
 				c.advanceMin()
 			}
 		}
-		return crossedMultiple(cnt, cnt+1, c.threshold)
+		crossed := crossedMultiple(cnt, cnt+1, c.threshold)
+		if crossed && c.rec != nil {
+			c.rec.RecordNow(obs.KindHRTCross, c.obsBank, row, uint64(cnt+1))
+		}
+		return crossed
 	}
 	// Installs never trigger: a row not in the table has a true count of
 	// at most the spill counter, which the Misra-Gries sizing bounds by
@@ -172,6 +187,9 @@ func (c *CAM) Observe(row uint64) bool {
 	if c.size < c.capacity {
 		c.installAt(c.size, row, c.spill+1)
 		c.size++
+		if c.rec != nil {
+			c.rec.RecordNow(obs.KindHRTInsert, c.obsBank, row, uint64(c.spill+1))
+		}
 		return false
 	}
 	if c.minVal > c.spill {
@@ -186,11 +204,17 @@ func (c *CAM) Observe(row uint64) bool {
 		c.lastEvicted = c.rows[victim]
 		c.evictions++
 	}
+	if c.rec != nil {
+		c.rec.RecordNow(obs.KindHRTEvict, c.obsBank, c.rows[victim], uint64(c.cnts[victim]))
+	}
 	c.idxDelete(c.rows[victim])
 	c.minCount--
 	c.installAt(victim, row, c.spill+1)
 	if c.minCount == 0 {
 		c.advanceMin()
+	}
+	if c.rec != nil {
+		c.rec.RecordNow(obs.KindHRTInsert, c.obsBank, row, uint64(c.spill+1))
 	}
 	return false
 }
@@ -214,7 +238,12 @@ func (c *CAM) ObserveN(row uint64, n int64) int {
 				c.advanceMin()
 			}
 		}
-		return int((cnt+n)/c.threshold - cnt/c.threshold)
+		fired := int((cnt+n)/c.threshold - cnt/c.threshold)
+		if fired > 0 && c.rec != nil {
+			// The burst collapses into one event at the final count.
+			c.rec.RecordNow(obs.KindHRTCross, c.obsBank, row, uint64(cnt+n))
+		}
+		return fired
 	}
 	fired := 0
 	for i := int64(0); i < n; i++ {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cat"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 )
 
 // CAT is the paper's scalable Misra-Gries tracker (Section 6.4): entries
@@ -56,6 +57,16 @@ type CAT struct {
 	logEvictions bool
 	evictions    uint64
 	lastEvicted  uint64
+
+	// rec, when non-nil, receives insert/evict/crossing events (ObsTarget).
+	rec     *obs.Recorder
+	obsBank int32
+}
+
+// SetObs implements ObsTarget.
+func (t *CAT) SetObs(rec *obs.Recorder, bank int32) {
+	t.rec = rec
+	t.obsBank = bank
 }
 
 // maxBitsetRows bounds the presence bitset at 512 KiB so adversarial
@@ -208,13 +219,20 @@ func (t *CAT) Observe(row uint64) bool {
 			if prev == t.setMin[ti][s] {
 				t.recomputeSetMin(ti, s)
 			}
-			return crossedMultiple(prev, prev+1, t.threshold)
+			crossed := crossedMultiple(prev, prev+1, t.threshold)
+			if crossed && t.rec != nil {
+				t.rec.RecordNow(obs.KindHRTCross, t.obsBank, row, uint64(prev+1))
+			}
+			return crossed
 		}
 	}
 	// Installs never trigger (see the CAM implementation's comment: an
 	// untracked row's true count is bounded by the spill counter < T).
 	if t.tab.Len() < t.capacity {
 		t.install(row, t.spill+1)
+		if t.rec != nil {
+			t.rec.RecordNow(obs.KindHRTInsert, t.obsBank, row, uint64(t.spill+1))
+		}
 		return false
 	}
 	min := t.globalMin()
@@ -231,11 +249,17 @@ func (t *CAT) Observe(row uint64) bool {
 				t.lastEvicted = victim
 				t.evictions++
 			}
+			if t.rec != nil {
+				t.rec.RecordNow(obs.KindHRTEvict, t.obsBank, victim, uint64(min))
+			}
 			t.removePresent(victim)
 			t.recomputeSetMin(vti, vs)
 		}
 	}
 	t.install(row, t.spill+1)
+	if t.rec != nil {
+		t.rec.RecordNow(obs.KindHRTInsert, t.obsBank, row, uint64(t.spill+1))
+	}
 	return false
 }
 
@@ -254,7 +278,12 @@ func (t *CAT) ObserveN(row uint64, n int64) int {
 			if prev == t.setMin[ti][s] {
 				t.recomputeSetMin(ti, s)
 			}
-			return int((prev+n)/t.threshold - prev/t.threshold)
+			fired := int((prev+n)/t.threshold - prev/t.threshold)
+			if fired > 0 && t.rec != nil {
+				// The burst collapses into one event at the final count.
+				t.rec.RecordNow(obs.KindHRTCross, t.obsBank, row, uint64(prev+n))
+			}
+			return fired
 		}
 	}
 	fired := 0

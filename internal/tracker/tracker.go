@@ -20,6 +20,8 @@
 // crosses a multiple of the threshold.
 package tracker
 
+import "repro/internal/obs"
+
 // Tracker identifies rows whose activation count crosses multiples of a
 // threshold within a tracking window (epoch).
 type Tracker interface {
@@ -69,6 +71,17 @@ type EvictionReporter interface {
 	// LastEvicted returns the row displaced by the most recent eviction
 	// (meaningful only after Evictions has advanced at least once).
 	LastEvicted() uint64
+}
+
+// ObsTarget is implemented by trackers that can emit insert / evict /
+// threshold-crossing events into an obs.Recorder. Both built-in trackers
+// implement it; the hooks follow the same one-nil-test discipline as the
+// eviction log, so a tracker without a recorder attached records nothing
+// and allocates nothing.
+type ObsTarget interface {
+	// SetObs attaches the recorder; events are stamped with the
+	// recorder's clock and the given flat bank index.
+	SetObs(rec *obs.Recorder, bank int32)
 }
 
 // EntriesFor returns the number of Misra-Gries entries needed to guarantee
