@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick bench-guard paranoid vet lint race chaos fuzz serve experiments examples alloc-check profile clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard paranoid vet lint race chaos fuzz serve experiments examples alloc-check profile shootout-smoke clean
 
 all: build lint test
 
@@ -54,9 +54,11 @@ serve:
 
 # bench runs the pinned performance-trajectory set (cmd/rrs-bench):
 # representative sims plus hot-path microbenchmarks, drift-checked
-# against cmd/rrs-bench/pins.json and written to BENCH_PR2.json.
+# against cmd/rrs-bench/pins.json and written to BENCH_PR6.json (the
+# committed baseline bench-guard compares against; re-run and commit it
+# when the benchmark machine changes).
 bench:
-	$(GO) run ./cmd/rrs-bench -pins cmd/rrs-bench/pins.json -out BENCH_PR2.json
+	$(GO) run ./cmd/rrs-bench -pins cmd/rrs-bench/pins.json -out BENCH_PR6.json
 
 # bench-quick is the CI smoke subset (fails on any stat drift).
 bench-quick:
@@ -64,13 +66,13 @@ bench-quick:
 
 # bench-guard is bench-quick plus a throughput floor: with the paranoid
 # checks off (the default), the geomean sim rate must stay within 2% of
-# the BENCH_PR2.json baseline — the self-verification layer must cost
+# the BENCH_PR6.json baseline — the self-verification layer must cost
 # nothing when disabled. The quick sims are sub-second, so the guard
 # takes the fastest of 7 repetitions to keep scheduler noise from
 # tripping a floor meant to catch code regressions.
 bench-guard:
 	$(GO) run ./cmd/rrs-bench -quick -reps 7 -pins cmd/rrs-bench/pins.json \
-		-baseline BENCH_PR2.json -min-speedup 0.98 -out bench-quick.json
+		-baseline BENCH_PR6.json -min-speedup 0.98 -out bench-quick.json
 
 # alloc-check runs the per-access allocation pins: the hot path — and
 # every hook layered onto it (paranoid checks, event recording) — must
@@ -79,7 +81,15 @@ bench-guard:
 # boxing) fails loudly instead of surfacing as throughput drift.
 alloc-check:
 	$(GO) test -run 'AllocFree' -count=1 ./internal/rit ./internal/tracker \
-		./internal/dram ./internal/cat ./internal/obs
+		./internal/dram ./internal/cat ./internal/obs ./internal/mitigation
+
+# shootout-smoke runs the cross-defense comparison at quick scale with
+# the invariant engine on: every mitigation in the zoo (RRS, the paper
+# baselines, and the successors SRS/Rubix/MINT/PrIDE/DAPPER) must
+# produce a perf + security + SRAM row and pass its structural checks.
+shootout-smoke:
+	$(GO) run ./cmd/rrs-experiments -shootout -scale 64 -epochs 1 \
+		-workloads hmmer -paranoid
 
 # profile captures CPU and heap pprof profiles of the quick benchmark
 # set. Inspect with `go tool pprof cpu.pprof` (web: add -http=:0).

@@ -15,7 +15,14 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig5 fig6
 // fig7 fig9 fig10 fig11 dos ablation probabilistic detection mixes rowclone
-// all.
+// shootout all.
+//
+// The shootout compares the whole mitigation zoo (RRS and the paper's
+// baselines plus the successor defenses SRS, Rubix, MINT, PrIDE and
+// DAPPER) under the same workloads and attack patterns:
+//
+//	rrs-experiments -shootout -scale 64 -epochs 1 -workloads hmmer -paranoid
+//	rrs-experiments -exp shootout -mitigations rrs,srs,mint
 //
 // Simulation-backed experiments run at a reduced scale (-scale divides the
 // 64 ms epoch; the Row Hammer threshold and swap cost scale with it, which
@@ -40,6 +47,13 @@ import (
 // csvDir, when nonempty, receives one CSV file per experiment.
 var csvDir string
 
+// shootoutMits is the -mitigations subset (nil = full zoo);
+// shootoutParanoid mirrors -paranoid for the shootout runner.
+var (
+	shootoutMits     []string
+	shootoutParanoid bool
+)
+
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment to run (table1..table7, fig5..fig11, dos, ablation, all)")
@@ -49,8 +63,22 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the 28 Table 3 workloads)")
 		seed      = flag.Uint64("seed", 0xEC0, "trace seed")
 		server    = flag.String("server", "", "base URL of a running rrs-serve (e.g. http://localhost:8080); simulation sweeps are submitted as jobs and share the server's result cache instead of computing locally")
+
+		shootout    = flag.Bool("shootout", false, "shorthand for -exp shootout: the cross-defense comparison")
+		mitigations = flag.String("mitigations", "", "comma-separated mitigation subset for the shootout (default: the full zoo)")
+		paranoid    = flag.Bool("paranoid", false, "run shootout legs under the invariant engine; any violation fails the experiment")
 	)
 	flag.Parse()
+	if *shootout {
+		*exp = "shootout"
+	}
+	shootoutMits = nil
+	if *mitigations != "" {
+		for _, name := range strings.Split(*mitigations, ",") {
+			shootoutMits = append(shootoutMits, strings.TrimSpace(name))
+		}
+	}
+	shootoutParanoid = *paranoid
 	csvDir = *csv
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -107,6 +135,7 @@ func main() {
 		"detection":     runDetection,
 		"mixes":         runMixes,
 		"rowclone":      runRowClone,
+		"shootout":      runShootout,
 	}
 
 	if *exp == "all" {
@@ -246,6 +275,21 @@ func runAblation(s experiments.Scale) error {
 func runRowClone(experiments.Scale) error {
 	_, t := experiments.RowCloneAblation(2)
 	return show("Extension (Section 8.1): RowClone-accelerated swaps under attack", t, nil)
+}
+
+// runShootout runs the cross-defense comparison. It is not part of -exp
+// all: the full zoo costs a run per defense per workload plus three
+// attack legs each, so it is invoked explicitly (use -workloads and
+// -scale to bound it).
+func runShootout(s experiments.Scale) error {
+	if len(s.Workloads) == 0 {
+		s.Workloads = representativeWorkloads()[:4]
+	}
+	_, t, err := experiments.Shootout(s, shootoutMits, shootoutParanoid)
+	if err != nil {
+		return err
+	}
+	return show("Shootout: mitigation zoo under common workloads and attacks", t, nil)
 }
 
 func runMixes(s experiments.Scale) error {

@@ -33,7 +33,7 @@ import (
 func main() {
 	var (
 		workload  = flag.String("workload", "bzip2", "workload name from the catalog")
-		mit       = flag.String("mitigation", "rrs", "none | rrs | rrs-cam | para | graphene | ideal | blockhammer")
+		mit       = flag.String("mitigation", "rrs", "none | rrs | rrs-cam | para | graphene | ideal | blockhammer | srs | rubix | mint | pride | dapper")
 		scale     = flag.Int("scale", 16, "epoch shrink factor (1 = full 64 ms epochs)")
 		epochs    = flag.Int("epochs", 2, "simulated epochs")
 		seed      = flag.Uint64("seed", 1, "trace seed")
@@ -120,6 +120,31 @@ func main() {
 		st := b.Stats()
 		fmt.Printf("\nBlockHammer: blacklisted ACTs %d, delay cycles %d (tDelay %d)\n",
 			st.BlacklistedActs, st.DelayCycles, b.TDelay())
+	}
+	if s, ok := res.Mitigation.(*mitigation.SRS); ok {
+		st := s.Stats()
+		fmt.Printf("\nSRS: swaps %d, refreshes %d, dest re-rolls %d, skipped %d, "+
+			"channel-block cycles %d\n",
+			st.Swaps, st.Refreshes, st.DestRerolls, st.SkippedSwaps, st.BlockCycles)
+	}
+	if r, ok := res.Mitigation.(*mitigation.Rubix); ok {
+		st := r.Stats()
+		fmt.Printf("\nRubix: refresh triggers %d, refresh ACTs %d\n",
+			st.Mitigations, st.Refreshes)
+	}
+	if m, ok := res.Mitigation.(*mitigation.MINT); ok {
+		st := m.Stats()
+		fmt.Printf("\nMINT: window refreshes %d, refresh ACTs %d (W=%d)\n",
+			st.Mitigations, st.Refreshes, m.WindowActs())
+	}
+	if q, ok := res.Mitigation.(*mitigation.PrIDE); ok {
+		st := q.Stats()
+		name := "PrIDE"
+		if q.Replaces() {
+			name = "DAPPER"
+		}
+		fmt.Printf("\n%s: enqueued %d, serviced %d, dropped %d, replaced %d, refresh ACTs %d\n",
+			name, st.Enqueued, st.Serviced, st.Dropped, st.Replaced, st.Refreshes)
 	}
 	if inv := res.Invariants; inv != nil {
 		fmt.Printf("\nself-verification: %d invariant checks across %d catalog entries, %d violation(s)\n",

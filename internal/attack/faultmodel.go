@@ -41,7 +41,18 @@ type FaultModel struct {
 	dist  [][]float32
 	dirty [][]int32
 	flips []Flip
+	// nearMisses counts victims whose disturbance crossed half the flip
+	// threshold from below — the shootout's "how close did it get" signal
+	// for defenses that show zero flips.
+	nearMisses int64
+	// peak is the highest disturbance ever accumulated by any victim,
+	// including values later cleared by a flip or refresh.
+	peak float64
 }
+
+// NearMissFraction is the fraction of TRH a victim must accumulate to
+// count as a near miss.
+const NearMissFraction = 0.5
 
 // DefaultAlpha2 is the distance-2 disturbance coupling, calibrated at the
 // paper's full-scale parameters (T_RH = 4.8K, ACT_max = 1.36M): it places
@@ -136,8 +147,16 @@ func (m *FaultModel) disturb(id dram.BankID, bi, victim int, amount float32, now
 	if d[victim] == 0 {
 		m.dirty[bi] = append(m.dirty[bi], int32(victim))
 	}
+	prev := float64(d[victim])
 	d[victim] += amount
-	if float64(d[victim]) >= m.TRH {
+	cur := float64(d[victim])
+	if cur > m.peak {
+		m.peak = cur
+	}
+	if half := m.TRH * NearMissFraction; prev < half && cur >= half {
+		m.nearMisses++
+	}
+	if cur >= m.TRH {
 		m.flips = append(m.flips, Flip{Bank: id, Row: victim, Time: now})
 		d[victim] = 0
 	}
@@ -160,6 +179,16 @@ func (m *FaultModel) Flips() []Flip { return append([]Flip(nil), m.flips...) }
 
 // FlipCount returns the number of bit-flip events so far.
 func (m *FaultModel) FlipCount() int { return len(m.flips) }
+
+// NearMisses returns how many times a victim's disturbance crossed
+// NearMissFraction of the flip threshold from below. A defense with zero
+// flips but many near misses is operating at the edge of its guarantee.
+func (m *FaultModel) NearMisses() int64 { return m.nearMisses }
+
+// PeakDisturbance returns the highest disturbance any victim ever
+// accumulated, as a fraction of the flip threshold (1.0 means a flip
+// occurred).
+func (m *FaultModel) PeakDisturbance() float64 { return m.peak / m.TRH }
 
 // Disturbance returns the victim row's accumulated disturbance (tests).
 func (m *FaultModel) Disturbance(id dram.BankID, row int) float64 {

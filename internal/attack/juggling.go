@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// Juggling is the white-box attack on RRS from the SRS paper (arXiv
+// 2212.12613): instead of hammering two *logical* rows, the attacker
+// pins two *physical* slots — the neighbours of a physical victim slot —
+// and re-derives which logical row currently occupies each slot before
+// every access. RRS tracks logical rows, so each swap installs a fresh,
+// untracked occupant into the hot slot; the attacker simply switches to
+// the new occupant ("juggling") and the physical victim's disturbance
+// grows without bound inside one epoch. A defense that keys its tracking
+// on physical slots (SRS) sees through the churn and bounds the victim
+// at roughly two swap thresholds.
+//
+// The occupant oracle models the paper's white-box attacker, who knows
+// the randomized mapping (via timing side channels in the original
+// analysis). Use OccupantOracle to build one from a controller.
+type Juggling struct {
+	// Victim is the physical slot whose neighbours are hammered.
+	Victim int
+	// occupant returns the logical row currently mapped onto a physical
+	// slot.
+	occupant func(physRow int) int
+	flip     bool
+}
+
+// NewJuggling attacks the physical slot victim through the occupants of
+// victim±1.
+func NewJuggling(victim int, occupant func(physRow int) int) *Juggling {
+	return &Juggling{Victim: victim, occupant: occupant}
+}
+
+// NextRow implements Pattern: alternate between the current occupants of
+// the two physical slots adjacent to the victim. The occupants are
+// re-derived on every access, so a swap is followed immediately.
+func (p *Juggling) NextRow() int {
+	p.flip = !p.flip
+	if p.flip {
+		return p.occupant(p.Victim - 1)
+	}
+	return p.occupant(p.Victim + 1)
+}
+
+// Name implements Pattern.
+func (p *Juggling) Name() string { return "juggling" }
+
+// OccupantFinder is implemented by mitigations that can report which
+// logical row currently occupies a physical slot (SRS and Rubix expose
+// their inverse mapping this way).
+type OccupantFinder interface {
+	Occupant(id dram.BankID, physRow int) int
+}
+
+// OccupantOracle builds the juggling attacker's white-box oracle over the
+// controller's mitigation for one bank. Mitigations implementing
+// OccupantFinder answer directly; otherwise Remap is used as the inverse
+// — exact for RRS (its remapping is an involution: swapped pairs map to
+// each other) and for any identity-mapping defense.
+func OccupantOracle(ctl *memctrl.Controller, bank dram.BankID) func(int) int {
+	if f, ok := ctl.Mitigation().(OccupantFinder); ok {
+		return func(phys int) int { return f.Occupant(bank, phys) }
+	}
+	mit := ctl.Mitigation()
+	return func(phys int) int { return mit.Remap(bank, phys) }
+}

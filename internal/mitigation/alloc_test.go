@@ -1,0 +1,70 @@
+package mitigation
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// TestZooHotPathAllocFree pins the 0 allocs/op contract for the zoo
+// defenses' per-activation paths (the same discipline make alloc-check
+// enforces for the tracker and DRAM packages). The loops cross tREFI
+// windows, so the pins cover the refresh/service paths too — refreshPair
+// is non-variadic and the PrIDE ring is a fixed array precisely so these
+// hold.
+func TestZooHotPathAllocFree(t *testing.T) {
+	cfg := testConfig()
+	id := dram.BankID{}
+
+	t.Run("MINT", func(t *testing.T) {
+		sys := dram.MustNew(cfg)
+		m := NewMINT(sys, 1)
+		now := int64(0)
+		step := int64(cfg.TRC)
+		// Warm-up: materialize DRAM's dense per-bank state.
+		for i := 0; i < 400; i++ {
+			m.OnActivate(id, 100+i%8, 100+i%8, now)
+			now += step
+		}
+		if avg := testing.AllocsPerRun(2000, func() {
+			m.OnActivate(id, 100, 100, now)
+			now += step
+		}); avg != 0 {
+			t.Fatalf("MINT.OnActivate allocates %.2f allocs/op, want 0", avg)
+		}
+	})
+
+	t.Run("PrIDE", func(t *testing.T) {
+		sys := dram.MustNew(cfg)
+		q := NewPrIDE(sys, 1.0, 1) // p=1: every op exercises the queue
+		now := int64(0)
+		step := int64(cfg.TRC)
+		for i := 0; i < 400; i++ {
+			q.OnActivate(id, 100+i%8, 100+i%8, now)
+			now += step
+		}
+		if avg := testing.AllocsPerRun(2000, func() {
+			q.OnActivate(id, 100, 100, now)
+			now += step
+		}); avg != 0 {
+			t.Fatalf("PrIDE.OnActivate allocates %.2f allocs/op, want 0", avg)
+		}
+	})
+
+	t.Run("DAPPER", func(t *testing.T) {
+		sys := dram.MustNew(cfg)
+		d := NewDAPPER(sys, 1.0, 1)
+		now := int64(0)
+		step := int64(cfg.TRC)
+		for i := 0; i < 400; i++ {
+			d.OnActivate(id, 100+i%8, 100+i%8, now)
+			now += step
+		}
+		if avg := testing.AllocsPerRun(2000, func() {
+			d.OnActivate(id, 100, 100, now)
+			now += step
+		}); avg != 0 {
+			t.Fatalf("DAPPER.OnActivate allocates %.2f allocs/op, want 0", avg)
+		}
+	})
+}

@@ -62,6 +62,10 @@ const (
 	// KindAttack is the footnote-2 detector firing: physical location A
 	// absorbed enough swap events to flag an attack.
 	KindAttack
+	// KindVictimRefresh is a victim-focused mitigation refreshing the
+	// neighbours of physical row A (B is the number of refresh
+	// activations issued) — the zoo defenses' firing events.
+	KindVictimRefresh
 
 	numKinds
 )
@@ -78,6 +82,7 @@ var kindNames = [numKinds]string{
 	KindEpoch:          "epoch",
 	KindChannelBlocked: "channel-blocked",
 	KindAttack:         "attack-detected",
+	KindVictimRefresh:  "victim-refresh",
 }
 
 // String returns the stable wire name of the kind.

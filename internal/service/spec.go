@@ -38,12 +38,18 @@ const (
 	MitGraphene    = "graphene"
 	MitIdeal       = "ideal"
 	MitBlockHammer = "blockhammer"
+	MitSRS         = "srs"
+	MitRubix       = "rubix"
+	MitMINT        = "mint"
+	MitPrIDE       = "pride"
+	MitDAPPER      = "dapper"
 )
 
 // MitigationNames lists the accepted Spec.Mitigation values.
 func MitigationNames() []string {
 	return []string{MitNone, MitRRS, MitRRSCAM, MitPARA, MitGraphene,
-		MitIdeal, MitBlockHammer}
+		MitIdeal, MitBlockHammer, MitSRS, MitRubix, MitMINT, MitPrIDE,
+		MitDAPPER}
 }
 
 // Spec declares one simulation job. The zero value of every field means
@@ -271,6 +277,29 @@ func MitigationFactory(name string, scale int, blacklist uint32) (func(*dram.Sys
 			p := mitigation.DefaultBlockHammerParams()
 			p.BlacklistThreshold = max(1, blacklist/uint32(scale))
 			return mitigation.NewBlockHammer(sys, p)
+		}, nil
+	case MitSRS:
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewSRS(sys, mitigation.ScaledSRSParams(sys.Config()))
+		}, nil
+	case MitRubix:
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewRubix(sys,
+				mitigation.DefaultPARAProbability(sys.Config().RowHammerThreshold), 11)
+		}, nil
+	case MitMINT:
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewMINT(sys, 13)
+		}, nil
+	case MitPrIDE:
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewPrIDE(sys,
+				mitigation.DefaultPrIDEProbability(sys.Config()), 17)
+		}, nil
+	case MitDAPPER:
+		return func(sys *dram.System) memctrl.Mitigation {
+			return mitigation.NewDAPPER(sys,
+				mitigation.DefaultPrIDEProbability(sys.Config()), 19)
 		}, nil
 	default:
 		return nil, fmt.Errorf("service: unknown mitigation %q (want one of %v)",

@@ -158,11 +158,27 @@ type Result struct {
 // continuously in between); the catalog also runs once at the end.
 const catalogCadence = 64
 
+// paranoidMitigation is implemented by mitigations that own their
+// paranoid wiring: EnableParanoid registers the defense's structural
+// checks (plus the shared DRAM catalog) on the engine, and Err exposes
+// the cheap latched-violation poll. core.RRS and the whole mitigation
+// zoo implement it.
+type paranoidMitigation interface {
+	EnableParanoid(*invariant.Engine)
+	Err() error
+}
+
+// observableMitigation is implemented by mitigations that can emit
+// events into an obs.Recorder.
+type observableMitigation interface {
+	EnableObs(*obs.Recorder)
+}
+
 // runGuards bundles the per-run safety rails polled every checkInterval
 // accesses: step budget, wall-clock deadline, and the paranoid engine.
 type runGuards struct {
 	eng      *invariant.Engine
-	rrs      *core.RRS
+	mit      paranoidMitigation
 	maxSteps int64
 	deadline time.Time
 	polls    int64
@@ -181,8 +197,8 @@ func (g *runGuards) poll(accesses int64) error {
 	// The shadows and swap checks latch violations asynchronously; fail
 	// fast on the first. The full structural catalog is costlier (it
 	// sweeps tables and memos), so it runs on a sparser cadence.
-	if g.rrs != nil {
-		if err := g.rrs.Err(); err != nil {
+	if g.mit != nil {
+		if err := g.mit.Err(); err != nil {
 			return err
 		}
 	} else if err := g.eng.Err(); err != nil {
@@ -232,8 +248,8 @@ func Run(opts Options) (Result, error) {
 	if opts.Events != nil {
 		rec = obs.NewRecorder(*opts.Events)
 		ctl.SetRecorder(rec)
-		if r, ok := mit.(*core.RRS); ok {
-			r.EnableObs(rec)
+		if o, ok := mit.(observableMitigation); ok {
+			o.EnableObs(rec)
 		}
 	}
 
@@ -246,9 +262,9 @@ func Run(opts Options) (Result, error) {
 		}
 		if paranoid {
 			guards.eng = invariant.NewEngine()
-			if r, ok := mit.(*core.RRS); ok {
-				r.EnableParanoid(guards.eng)
-				guards.rrs = r
+			if pm, ok := mit.(paranoidMitigation); ok {
+				pm.EnableParanoid(guards.eng)
+				guards.mit = pm
 			} else {
 				sys.EnableParanoid(guards.eng)
 				guards.eng.Register("dram/structure", sys.CheckInvariants)
@@ -422,8 +438,8 @@ func Run(opts Options) (Result, error) {
 		if err := guards.eng.RunAll(); err != nil {
 			return Result{}, err
 		}
-		if guards.rrs != nil {
-			if err := guards.rrs.Err(); err != nil {
+		if guards.mit != nil {
+			if err := guards.mit.Err(); err != nil {
 				return Result{}, err
 			}
 		}
