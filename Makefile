@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick bench-guard paranoid vet lint race chaos fuzz serve experiments examples alloc-check profile shootout-smoke clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos fuzz serve experiments examples alloc-check profile shootout-smoke clean
 
 all: build lint test
 
@@ -54,11 +54,11 @@ serve:
 
 # bench runs the pinned performance-trajectory set (cmd/rrs-bench):
 # representative sims plus hot-path microbenchmarks, drift-checked
-# against cmd/rrs-bench/pins.json and written to BENCH_PR6.json (the
+# against cmd/rrs-bench/pins.json and written to BENCH_PR7.json (the
 # committed baseline bench-guard compares against; re-run and commit it
 # when the benchmark machine changes).
 bench:
-	$(GO) run ./cmd/rrs-bench -pins cmd/rrs-bench/pins.json -out BENCH_PR6.json
+	$(GO) run ./cmd/rrs-bench -pins cmd/rrs-bench/pins.json -out BENCH_PR7.json
 
 # bench-quick is the CI smoke subset (fails on any stat drift).
 bench-quick:
@@ -66,13 +66,21 @@ bench-quick:
 
 # bench-guard is bench-quick plus a throughput floor: with the paranoid
 # checks off (the default), the geomean sim rate must stay within 2% of
-# the BENCH_PR6.json baseline — the self-verification layer must cost
+# the BENCH_PR7.json baseline — the self-verification layer must cost
 # nothing when disabled. The quick sims are sub-second, so the guard
 # takes the fastest of 7 repetitions to keep scheduler noise from
 # tripping a floor meant to catch code regressions.
 bench-guard:
 	$(GO) run ./cmd/rrs-bench -quick -reps 7 -pins cmd/rrs-bench/pins.json \
-		-baseline BENCH_PR6.json -min-speedup 0.98 -out bench-quick.json
+		-baseline BENCH_PR7.json -min-speedup 0.98 -out bench-quick.json
+
+# bench-parallel drift-checks the bank-sharded parallel mode (pins under
+# name+"+par") and reports its throughput; the stats are identical for
+# every positive -workers count, so any drift here is a real behavioral
+# change in the shard decomposition or the merge.
+bench-parallel:
+	$(GO) run ./cmd/rrs-bench -quick -workers 8 -pins cmd/rrs-bench/pins.json \
+		-out bench-parallel.json
 
 # alloc-check runs the per-access allocation pins: the hot path — and
 # every hook layered onto it (paranoid checks, event recording) — must

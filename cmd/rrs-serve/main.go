@@ -76,6 +76,7 @@ func run() error {
 		jobRetries   = flag.Int("job-retries", 2, "automatic retries for transiently failed runs (-1 disables)")
 		journalPath  = flag.String("journal", "", "durable job journal path (JSONL WAL; empty disables durability)")
 		paranoid     = flag.Bool("paranoid", false, "force every job to run with the self-verification layer (stats unchanged; results gain an invariant summary)")
+		simWorkers   = flag.Int("sim-workers", 0, "default per-simulation goroutine count for specs that leave workers unset (0 = sequential engine; positive enables the bank-sharded parallel mode)")
 	)
 	flag.Parse()
 
@@ -91,13 +92,14 @@ func run() error {
 	}
 
 	mgr := service.NewManager(service.Options{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *jobTimeout,
-		JobRetries:     *jobRetries,
-		Journal:        journal,
-		ForceParanoid:  *paranoid,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		DefaultTimeout:    *jobTimeout,
+		JobRetries:        *jobRetries,
+		Journal:           journal,
+		ForceParanoid:     *paranoid,
+		DefaultSimWorkers: *simWorkers,
 	})
 	if replayed != nil {
 		if err := mgr.Restore(replayed); err != nil {

@@ -1,0 +1,23 @@
+package invariant
+
+// MergeSummaries folds per-shard engine summaries into one, in slice
+// order: check counts add, and the first shard (by index, not by wall
+// clock) that latched a violation supplies FirstViolation, so the merged
+// report is deterministic regardless of worker scheduling.
+func MergeSummaries(parts []Summary) Summary {
+	var out Summary
+	for _, p := range parts {
+		out.Checks += p.Checks
+		out.Violations += p.Violations
+		if out.FirstViolation == "" {
+			out.FirstViolation = p.FirstViolation
+		}
+		for name, n := range p.PerCheck {
+			if out.PerCheck == nil {
+				out.PerCheck = make(map[string]int64, len(p.PerCheck))
+			}
+			out.PerCheck[name] += n
+		}
+	}
+	return out
+}

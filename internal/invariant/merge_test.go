@@ -1,0 +1,30 @@
+package invariant
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSummaries(t *testing.T) {
+	parts := []Summary{
+		{Checks: 10, PerCheck: map[string]int64{"rit/structure": 6, "rit/shadow": 4}},
+		{Checks: 5, PerCheck: map[string]int64{"rit/structure": 5},
+			Violations: 1, FirstViolation: "shard1 boom"},
+		{Checks: 3, Violations: 1, FirstViolation: "shard2 boom"},
+	}
+	got := MergeSummaries(parts)
+	want := Summary{
+		Checks:         18,
+		PerCheck:       map[string]int64{"rit/structure": 11, "rit/shadow": 4},
+		Violations:     2,
+		FirstViolation: "shard1 boom", // lowest shard index wins, deterministically
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %+v, want %+v", got, want)
+	}
+
+	empty := MergeSummaries(nil)
+	if empty.Checks != 0 || empty.PerCheck != nil || empty.Violations != 0 {
+		t.Fatalf("empty merge = %+v, want zero value", empty)
+	}
+}

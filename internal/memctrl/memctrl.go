@@ -240,6 +240,11 @@ func (c *Controller) Access(line uint64, write bool, arrival int64) int64 {
 	if rec := c.rec; rec != nil && start > arrival {
 		rec.Observe(obs.HistStall, start-arrival)
 	}
+	// Channel blocking and refresh windows can push the first DRAM
+	// command past the next epoch boundary; deliver the boundary before
+	// the command so the mitigation never observes an activation
+	// timestamped inside an epoch whose OnEpoch has not fired.
+	c.AdvanceTo(start)
 
 	// A refresh window that has elapsed since the bank's last command
 	// closes the row buffer.
@@ -300,6 +305,11 @@ func (c *Controller) activate(id dram.BankID, b *dram.Bank, row, physRow int, st
 		c.stats.ActDelayed += d
 		actAt = c.sys.SkipRefresh(start + d)
 	}
+	// tRC gating and mitigation throttling can push the activation past
+	// the next epoch boundary in turn; fire any boundary the delay
+	// crossed so DRAM counters reset and trackers clear before the
+	// activation is recorded against the new epoch.
+	c.AdvanceTo(actAt)
 	if rec := c.rec; rec != nil {
 		// The clock feeds RecordNow in the mitigation's RIT/tracker hooks.
 		rec.SetNow(actAt)

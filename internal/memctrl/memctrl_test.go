@@ -298,6 +298,103 @@ func TestEpochBoundariesFire(t *testing.T) {
 	}
 }
 
+// orderMit records the interleaving of epoch and activation callbacks
+// and applies a fixed activation delay, so tests can prove a boundary
+// crossed mid-access is delivered before the activation that crossed it.
+type orderMit struct {
+	None
+	delay  int64
+	block  int64
+	events []orderEvent
+}
+
+type orderEvent struct {
+	kind string // "epoch" or "act"
+	at   int64
+}
+
+func (o *orderMit) ActivateDelay(dram.BankID, int, int64) int64 { return o.delay }
+
+func (o *orderMit) OnEpoch(now int64) {
+	o.events = append(o.events, orderEvent{"epoch", now})
+}
+
+func (o *orderMit) OnActivate(_ dram.BankID, _, _ int, now int64) ActResult {
+	o.events = append(o.events, orderEvent{"act", now})
+	return ActResult{ChannelBlock: o.block}
+}
+
+// TestEpochDeliveredBeforeDelayedActivation: an access arriving inside
+// epoch N whose activation is throttled past the N/N+1 boundary must see
+// OnEpoch fire before OnActivate — otherwise the mitigation observes an
+// activation timestamped inside an epoch whose trackers have not reset.
+func TestEpochDeliveredBeforeDelayedActivation(t *testing.T) {
+	cfg := testConfig()
+	mit := &orderMit{delay: 400}
+	sys := dram.MustNew(cfg)
+	c := New(sys, mit)
+
+	// Arrive 100 cycles before the first boundary; the 400-cycle
+	// throttle pushes the activation into epoch 1.
+	arrival := cfg.EpochCycles - 100
+	c.Access(lineFor(c, 1, 0), false, arrival)
+
+	want := []orderEvent{
+		{"epoch", cfg.EpochCycles},
+		{"act", arrival + mit.delay},
+	}
+	if len(mit.events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", mit.events, want)
+	}
+	for i := range want {
+		if mit.events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, mit.events[i], want[i])
+		}
+	}
+	// The boundary also reset the epoch's DRAM activation counters
+	// before the activation landed, so the new epoch holds exactly one.
+	if got := sys.ActCount(dram.BankID{}, 1); got != 1 {
+		t.Fatalf("new epoch activation count = %d, want 1", got)
+	}
+	if c.Stats().Epochs != 1 {
+		t.Fatalf("Epochs stat = %d, want 1", c.Stats().Epochs)
+	}
+}
+
+// TestEpochDeliveredBeforeBlockedAccess: a swap-style channel block that
+// straddles a boundary delays the next access's first DRAM command into
+// the new epoch; the boundary must be delivered before that command's
+// activation is reported.
+func TestEpochDeliveredBeforeBlockedAccess(t *testing.T) {
+	cfg := testConfig()
+	mit := &orderMit{block: 2000}
+	c := New(dram.MustNew(cfg), mit)
+
+	// First access triggers a 2000-cycle channel block ending inside
+	// epoch 1; the second access arrives before the boundary but cannot
+	// start until the block clears.
+	c.Access(lineFor(c, 1, 0), false, cfg.EpochCycles-1000)
+	c.Access(lineFor(c, 2, 0), false, cfg.EpochCycles-900)
+
+	var kinds []string
+	for _, e := range mit.events {
+		kinds = append(kinds, e.kind)
+	}
+	want := []string{"act", "epoch", "act"}
+	if len(kinds) != len(want) {
+		t.Fatalf("callback order %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("callback order %v, want %v", kinds, want)
+		}
+	}
+	if second := mit.events[2]; second.at <= cfg.EpochCycles {
+		t.Fatalf("blocked activation at %d should land past the boundary %d",
+			second.at, cfg.EpochCycles)
+	}
+}
+
 func TestAdvanceToIdempotent(t *testing.T) {
 	cfg := testConfig()
 	mit := &epochMit{}

@@ -1,0 +1,130 @@
+package obs
+
+import "sort"
+
+// OffsetBanks rewrites every event's bank index by delta, leaving the
+// system-wide sentinel (-1) untouched. The parallel simulation mode uses
+// it to translate a shard recorder's local flat bank indices into the
+// full system's flat index space before merging timelines.
+func (tl *Timeline) OffsetBanks(delta int32) {
+	if tl == nil || delta == 0 {
+		return
+	}
+	for i := range tl.Events {
+		if tl.Events[i].Bank >= 0 {
+			tl.Events[i].Bank += delta
+		}
+	}
+}
+
+// MergeTimelines folds per-shard recordings into one timeline, the
+// deterministic merge the parallel simulation mode performs at the end
+// of a run. Events are merged chronologically with ties broken by input
+// order (so a fixed shard order yields a fixed stream); histograms add
+// bucket-by-bucket; epoch samples align by epoch index and sum. Nil
+// parts are skipped; the result is nil only if every part is nil.
+func MergeTimelines(parts []*Timeline) *Timeline {
+	var live []*Timeline
+	for _, p := range parts {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	out := &Timeline{}
+	var events []Event
+	for _, p := range live {
+		out.TotalEvents += p.TotalEvents
+		out.DroppedEvents += p.DroppedEvents
+		events = append(events, p.Events...)
+	}
+	if len(events) > 0 {
+		sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+		out.Events = events
+	}
+	for _, p := range live {
+		for name, hv := range p.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistView)
+			}
+			out.Histograms[name] = mergeHistViews(out.Histograms[name], hv)
+		}
+	}
+	out.Samples = mergeSamples(live)
+	return out
+}
+
+// mergeHistViews adds b into a. Both views come from Hist.View, so their
+// buckets are sorted by LE with identical geometry.
+func mergeHistViews(a, b HistView) HistView {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	m := HistView{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Min:   a.Min,
+		Max:   a.Max,
+	}
+	if b.Min < m.Min {
+		m.Min = b.Min
+	}
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	m.Mean = float64(m.Sum) / float64(m.Count)
+	byLE := make(map[int64]int64, len(a.Buckets)+len(b.Buckets))
+	for _, bc := range a.Buckets {
+		byLE[bc.LE] += bc.Count
+	}
+	for _, bc := range b.Buckets {
+		byLE[bc.LE] += bc.Count
+	}
+	les := make([]int64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	for _, le := range les {
+		m.Buckets = append(m.Buckets, BucketCount{LE: le, Count: byLE[le]})
+	}
+	return m
+}
+
+// mergeSamples aligns per-epoch samples across shards by epoch index and
+// sums the mitigation-state fields. Shards that finished with fewer
+// completed epochs simply contribute nothing to the later indices.
+func mergeSamples(parts []*Timeline) []EpochSample {
+	byEpoch := make(map[int64]EpochSample)
+	for _, p := range parts {
+		for _, s := range p.Samples {
+			m, ok := byEpoch[s.Epoch]
+			if !ok {
+				byEpoch[s.Epoch] = s
+				continue
+			}
+			m.Swaps += s.Swaps
+			m.RITTuples += s.RITTuples
+			m.HRTRows += s.HRTRows
+			m.BlockCycles += s.BlockCycles
+			if s.At > m.At {
+				m.At = s.At
+			}
+			byEpoch[s.Epoch] = m
+		}
+	}
+	if len(byEpoch) == 0 {
+		return nil
+	}
+	out := make([]EpochSample, 0, len(byEpoch))
+	for _, s := range byEpoch {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}

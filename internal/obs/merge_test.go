@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOffsetBanks(t *testing.T) {
+	tl := &Timeline{Events: []Event{
+		{At: 1, Kind: KindSwap, Bank: 0},
+		{At: 2, Kind: KindEpoch, Bank: -1},
+		{At: 3, Kind: KindRITInstall, Bank: 3},
+	}}
+	tl.OffsetBanks(16)
+	want := []int32{16, -1, 19}
+	for i, e := range tl.Events {
+		if e.Bank != want[i] {
+			t.Fatalf("event %d: bank = %d, want %d", i, e.Bank, want[i])
+		}
+	}
+	// Nil receiver and zero delta are no-ops, not panics.
+	var nilTL *Timeline
+	nilTL.OffsetBanks(4)
+	tl.OffsetBanks(0)
+}
+
+func TestMergeTimelinesEvents(t *testing.T) {
+	a := &Timeline{
+		Events:      []Event{{At: 10, Bank: 0}, {At: 30, Bank: 0}},
+		TotalEvents: 2,
+	}
+	b := &Timeline{
+		Events:        []Event{{At: 10, Bank: 1}, {At: 20, Bank: 1}},
+		TotalEvents:   3,
+		DroppedEvents: 1,
+	}
+	m := MergeTimelines([]*Timeline{a, nil, b})
+	if m.TotalEvents != 5 || m.DroppedEvents != 1 {
+		t.Fatalf("totals = %d/%d, want 5/1", m.TotalEvents, m.DroppedEvents)
+	}
+	// Chronological, with the At=10 tie broken by input (shard) order.
+	wantBanks := []int32{0, 1, 1, 0}
+	wantAts := []int64{10, 10, 20, 30}
+	for i, e := range m.Events {
+		if e.At != wantAts[i] || e.Bank != wantBanks[i] {
+			t.Fatalf("event %d = {At:%d Bank:%d}, want {At:%d Bank:%d}",
+				i, e.At, e.Bank, wantAts[i], wantBanks[i])
+		}
+	}
+
+	if MergeTimelines([]*Timeline{nil, nil}) != nil {
+		t.Fatal("merge of all-nil parts should be nil")
+	}
+}
+
+// TestMergeTimelinesHistograms merges real recorder-built views so bucket
+// geometry matches production, then checks against one recorder fed the
+// union of the observations.
+func TestMergeTimelinesHistograms(t *testing.T) {
+	obsA := []int64{1, 5, 130}
+	obsB := []int64{2, 70, 4000}
+
+	rec := func(vals ...[]int64) *Timeline {
+		r := NewRecorder(Config{RingSize: -1})
+		for _, vs := range vals {
+			for _, v := range vs {
+				r.Observe(HistStall, v)
+			}
+		}
+		return r.Timeline()
+	}
+	merged := MergeTimelines([]*Timeline{rec(obsA), rec(obsB)})
+	direct := rec(obsA, obsB)
+
+	name := HistStall.String()
+	got, want := merged.Histograms[name], direct.Histograms[name]
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged hist = %+v, want %+v", got, want)
+	}
+	// A histogram present in only one part passes through intact.
+	one := rec(obsA)
+	solo := MergeTimelines([]*Timeline{one, rec()})
+	if !reflect.DeepEqual(solo.Histograms[name], one.Histograms[name]) {
+		t.Fatalf("one-sided hist changed by merge: %+v", solo.Histograms[name])
+	}
+}
+
+func TestMergeTimelinesSamples(t *testing.T) {
+	a := &Timeline{Samples: []EpochSample{
+		{Epoch: 0, At: 100, Swaps: 2, RITTuples: 4, HRTRows: 6, BlockCycles: 10},
+		{Epoch: 1, At: 200, Swaps: 1, RITTuples: 2, HRTRows: 3, BlockCycles: 5},
+	}}
+	// Shard b finished after fewer epochs; its epoch 0 sample still folds in.
+	b := &Timeline{Samples: []EpochSample{
+		{Epoch: 0, At: 110, Swaps: 3, RITTuples: 1, HRTRows: 1, BlockCycles: 7},
+	}}
+	m := MergeTimelines([]*Timeline{a, b})
+	want := []EpochSample{
+		{Epoch: 0, At: 110, Swaps: 5, RITTuples: 5, HRTRows: 7, BlockCycles: 17},
+		{Epoch: 1, At: 200, Swaps: 1, RITTuples: 2, HRTRows: 3, BlockCycles: 5},
+	}
+	if !reflect.DeepEqual(m.Samples, want) {
+		t.Fatalf("samples = %+v, want %+v", m.Samples, want)
+	}
+}

@@ -1,0 +1,27 @@
+package power
+
+import "repro/internal/config"
+
+// MergeShards combines per-shard DRAM energy breakdowns into a breakdown
+// for the whole system. Event energies (activate, read, write) come from
+// counters each shard owns exclusively, so they sum. Refresh and
+// background energy are functions of topology and elapsed time, which
+// every single-rank shard undercounts by the rank fan-out, so both are
+// recomputed from the full configuration and the merged elapsed cycles
+// instead of summed.
+func (e DRAMEnergy) MergeShards(parts []Breakdown, cfg config.Config, elapsedCycles int64) Breakdown {
+	var b Breakdown
+	for _, p := range parts {
+		b.ActMJ += p.ActMJ
+		b.ReadMJ += p.ReadMJ
+		b.WriteMJ += p.WriteMJ
+	}
+	seconds := float64(elapsedCycles) / (config.BusGHz * 1e9)
+	refreshes := float64(elapsedCycles/int64(cfg.TREFI)) * float64(cfg.Channels*cfg.Ranks)
+	b.RefreshMJ = refreshes * e.RefreshNJ * 1e-6
+	b.BackgroundMJ = e.BackgroundMW * seconds * float64(cfg.Channels*cfg.Ranks)
+	if seconds > 0 {
+		b.AvgPowerMW = b.TotalMJ() / seconds
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestMergeShards(t *testing.T) {
+	cfg := config.Default()
+	e := DefaultDRAMEnergy()
+	elapsed := int64(cfg.TREFI) * 1000
+
+	// Per-shard refresh/background figures are garbage by construction
+	// (each shard models a 1-rank slice); the merge must ignore them and
+	// recompute from the full topology.
+	parts := []Breakdown{
+		{ActMJ: 1, ReadMJ: 2, WriteMJ: 3, RefreshMJ: 99, BackgroundMJ: 99},
+		{ActMJ: 0.5, ReadMJ: 0.25, WriteMJ: 0.75, RefreshMJ: 99, BackgroundMJ: 99},
+	}
+	got := e.MergeShards(parts, cfg, elapsed)
+
+	if got.ActMJ != 1.5 || got.ReadMJ != 2.25 || got.WriteMJ != 3.75 {
+		t.Fatalf("event energies = %v/%v/%v, want 1.5/2.25/3.75",
+			got.ActMJ, got.ReadMJ, got.WriteMJ)
+	}
+
+	seconds := float64(elapsed) / (config.BusGHz * 1e9)
+	ranks := float64(cfg.Channels * cfg.Ranks)
+	wantRefresh := 1000 * ranks * e.RefreshNJ * 1e-6
+	wantBackground := e.BackgroundMW * seconds * ranks
+	if math.Abs(got.RefreshMJ-wantRefresh) > 1e-9 {
+		t.Fatalf("RefreshMJ = %v, want %v", got.RefreshMJ, wantRefresh)
+	}
+	if math.Abs(got.BackgroundMJ-wantBackground) > 1e-9 {
+		t.Fatalf("BackgroundMJ = %v, want %v", got.BackgroundMJ, wantBackground)
+	}
+	wantPower := got.TotalMJ() / seconds
+	if math.Abs(got.AvgPowerMW-wantPower) > 1e-9 {
+		t.Fatalf("AvgPowerMW = %v, want %v", got.AvgPowerMW, wantPower)
+	}
+
+	// Zero elapsed time: no division by zero, no background energy.
+	zero := e.MergeShards(parts, cfg, 0)
+	if zero.AvgPowerMW != 0 || zero.BackgroundMJ != 0 || zero.RefreshMJ != 0 {
+		t.Fatalf("zero-time merge = %+v, want zero refresh/background/power", zero)
+	}
+}

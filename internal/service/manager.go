@@ -187,6 +187,15 @@ type Options struct {
 	// caches under the paranoid spec, and submissions that already asked
 	// for paranoid coalesce with it.
 	ForceParanoid bool
+	// DefaultSimWorkers, when positive, sets Spec.Workers for every
+	// submitted job that left it 0 — an operator switch that runs the
+	// whole server in the bank-sharded parallel mode (see
+	// sim.Options.Workers). Like ForceParanoid it applies before
+	// hashing: parallel results cache under the parallel mode's hash,
+	// never shadowing sequential ones. Distinct from Options.Workers,
+	// the job pool size: one sets goroutines per simulation, the other
+	// simulations in flight.
+	DefaultSimWorkers int
 	// Run overrides the simulation executor (nil = the built-in engine).
 	// Chaos tests wrap an executor with injected faults here; it is also
 	// the seam for alternative backends.
@@ -449,6 +458,9 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	}
 	if m.opts.ForceParanoid {
 		spec.Paranoid = true
+	}
+	if m.opts.DefaultSimWorkers > 0 && spec.Workers == 0 {
+		spec.Workers = m.opts.DefaultSimWorkers
 	}
 	norm := spec.Normalize()
 	hash := norm.Hash()

@@ -57,6 +57,9 @@ func TestSpecHashCanonical(t *testing.T) {
 	v = base
 	v.MaxSteps = 100000
 	variants["max-steps"] = v
+	v = base
+	v.Workers = 1
+	variants["workers"] = v
 	seen := map[string]string{base.Hash(): "base"}
 	for name, spec := range variants {
 		h := spec.Hash()
@@ -64,6 +67,30 @@ func TestSpecHashCanonical(t *testing.T) {
 			t.Errorf("variant %q collides with %q", name, prev)
 		}
 		seen[h] = name
+	}
+}
+
+func TestSpecHashWorkersMode(t *testing.T) {
+	// The execution mode is content; the concurrency is not. Any two
+	// positive worker counts are bit-identical runs and must share one
+	// cache entry, while sequential and parallel must not.
+	seq := Spec{Workloads: []string{"bzip2"}}
+	par2, par8 := seq, seq
+	par2.Workers = 2
+	par8.Workers = 8
+	if par2.Hash() != par8.Hash() {
+		t.Error("workers=2 and workers=8 hash differently")
+	}
+	if seq.Hash() == par2.Hash() {
+		t.Error("sequential and parallel specs hash identically")
+	}
+
+	opts, err := par8.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Workers != 8 {
+		t.Errorf("Options().Workers = %d, want the requested 8", opts.Workers)
 	}
 }
 

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// shardPlan is the deterministic decomposition of a configuration into
+// independent sub-simulations. It depends only on the configuration —
+// never on Options.Workers — so every worker count computes the same
+// shards and hence the same statistics.
+type shardPlan struct {
+	// count is G, the number of shards.
+	count int
+	// bankBase[g] is shard g's first flat bank index in the full
+	// system's channel-major order; bankCount[g] is its chunk size.
+	bankBase, bankCount []int
+	// cores[g] lists shard g's global core indices (round-robin).
+	cores [][]int
+}
+
+// planShards decomposes cfg into G = min(Cores, total banks) shards:
+// banks in contiguous channel-major chunks, cores round-robin so uneven
+// counts stay balanced.
+func planShards(cores, totalBanks int) shardPlan {
+	g := cores
+	if totalBanks < g {
+		g = totalBanks
+	}
+	p := shardPlan{
+		count:     g,
+		bankBase:  make([]int, g),
+		bankCount: make([]int, g),
+		cores:     make([][]int, g),
+	}
+	base := 0
+	for s := 0; s < g; s++ {
+		p.bankBase[s] = base
+		p.bankCount[s] = splitHotRows(totalBanks, g, s)
+		base += p.bankCount[s]
+		for c := s; c < cores; c += g {
+			p.cores[s] = append(p.cores[s], c)
+		}
+	}
+	return p
+}
+
+// progressAgg folds per-shard progress callbacks into one monotonic
+// stream for the caller. Unlike the sequential path, callbacks arrive
+// from shard goroutines; the aggregator serializes them under a mutex,
+// so the caller's Progress still never runs concurrently with itself.
+type progressAgg struct {
+	mu           sync.Mutex
+	done         []int64
+	total        int64
+	best         int64
+	cycleBounded bool
+	fn           func(done, total int64)
+}
+
+func (p *progressAgg) update(shard int, d int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done[shard] = d
+	var agg int64
+	if p.cycleBounded {
+		// The run ends when the slowest shard reaches the cycle limit.
+		agg = p.done[0]
+		for _, v := range p.done[1:] {
+			if v < agg {
+				agg = v
+			}
+		}
+	} else {
+		for _, v := range p.done {
+			agg += v
+		}
+	}
+	if agg > p.total {
+		agg = p.total
+	}
+	// Keep the reported stream monotonic even though shard callbacks
+	// interleave arbitrarily.
+	if agg < p.best {
+		return
+	}
+	p.best = agg
+	p.fn(agg, p.total)
+}
+
+// runParallel executes the bank-sharded parallel mode: G independent
+// sub-simulations (disjoint banks, disjoint cores, private mitigation
+// state) run on a pool of Options.Workers goroutines and their results
+// are merged in shard order. See DESIGN.md §12 for the architecture and
+// the argument why G is fixed by the configuration.
+func runParallel(opts Options) (Result, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(opts.Workloads) == 0 {
+		return Result{}, fmt.Errorf("sim: no workloads")
+	}
+	if opts.Readers != nil && len(opts.Readers) < cfg.Cores {
+		return Result{}, fmt.Errorf("sim: %d readers for %d cores; Readers must supply one per core",
+			len(opts.Readers), cfg.Cores)
+	}
+
+	totalBanks := cfg.Channels * cfg.Ranks * cfg.Banks
+	plan := planShards(cfg.Cores, totalBanks)
+
+	var agg *progressAgg
+	if opts.Progress != nil {
+		agg = &progressAgg{
+			done:         make([]int64, plan.count),
+			cycleBounded: opts.CycleLimit > 0,
+			fn:           opts.Progress,
+		}
+		if opts.CycleLimit > 0 {
+			agg.total = opts.CycleLimit
+		} else {
+			ipc := opts.InstructionsPerCore
+			if ipc <= 0 {
+				ipc = 1_000_000
+			}
+			agg.total = ipc * int64(cfg.Cores)
+		}
+	}
+
+	shardOpts := make([]Options, plan.count)
+	for g := range shardOpts {
+		so := opts
+		so.Workers = 0
+		so.Progress = nil
+		so.shard = &shardLayout{globalCores: plan.cores[g], totalCores: cfg.Cores}
+
+		// The shard's sub-system: one channel, one rank, its bank chunk,
+		// its share of the cores. Timing, epoch length and thresholds are
+		// inherited, so per-bank behavior matches the full system.
+		sub := cfg
+		sub.Channels, sub.Ranks = 1, 1
+		sub.Banks = plan.bankCount[g]
+		sub.Cores = len(plan.cores[g])
+		so.Config = sub
+
+		// One workload (and reader) per local core, in global-core order,
+		// so runSeq's i%len(Workloads) picks the same benchmark the
+		// sequential path would assign that global core.
+		so.Workloads = make([]trace.Workload, sub.Cores)
+		if opts.Readers != nil {
+			so.Readers = make([]trace.Reader, sub.Cores)
+		}
+		for j, gi := range plan.cores[g] {
+			so.Workloads[j] = opts.Workloads[gi%len(opts.Workloads)]
+			if opts.Readers != nil {
+				so.Readers[j] = opts.Readers[gi]
+			}
+		}
+
+		// The step budget splits across shards (earlier shards take the
+		// remainder); every shard keeps at least 1 so a tiny budget still
+		// stops every shard.
+		if opts.MaxSteps > 0 {
+			share := int64(splitHotRows(int(opts.MaxSteps), plan.count, g))
+			if share < 1 {
+				share = 1
+			}
+			so.MaxSteps = share
+		}
+		if agg != nil {
+			shard := g
+			so.Progress = func(done, _ int64) { agg.update(shard, done) }
+		}
+		shardOpts[g] = so
+	}
+
+	// Worker pool: shard indices drain through a channel; results land in
+	// shard-indexed slots so the merge below is order-deterministic no
+	// matter how the pool schedules.
+	workers := opts.Workers
+	if workers > plan.count {
+		workers = plan.count
+	}
+	results := make([]Result, plan.count)
+	serieses := make([]runSeries, plan.count)
+	errs := make([]error, plan.count)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				results[g], serieses[g], errs[g] = runSeq(shardOpts[g])
+			}
+		}()
+	}
+	for g := 0; g < plan.count; g++ {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+
+	// The lowest-index shard's error wins, deterministically.
+	for g, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: shard %d: %w", g, err)
+		}
+	}
+	return mergeShardResults(opts, plan, results, serieses), nil
+}
+
+// mergeShardResults folds per-shard results in shard-index order into
+// one full-system Result. Counters sum; Cycles is the slowest shard; IPC
+// weights each shard by its core count; per-epoch series align by epoch
+// index; refresh and background energy are recomputed for the full
+// topology. Result.Mitigation is nil — there is no single mitigation
+// instance in parallel mode.
+func mergeShardResults(opts Options, plan shardPlan, results []Result, serieses []runSeries) Result {
+	cfg := opts.Config
+	var res Result
+	var ipcWeighted float64
+	energyParts := make([]power.Breakdown, len(results))
+	for g, r := range results {
+		res.Instructions += r.Instructions
+		res.Accesses += r.Accesses
+		if r.Cycles > res.Cycles {
+			res.Cycles = r.Cycles
+		}
+		ipcWeighted += r.IPC * float64(len(plan.cores[g]))
+
+		res.MemStats.Reads += r.MemStats.Reads
+		res.MemStats.Writes += r.MemStats.Writes
+		res.MemStats.RowHits += r.MemStats.RowHits
+		res.MemStats.RowMisses += r.MemStats.RowMisses
+		res.MemStats.RowConflicts += r.MemStats.RowConflicts
+		res.MemStats.TotalLatency += r.MemStats.TotalLatency
+		res.MemStats.ActDelayed += r.MemStats.ActDelayed
+		if r.MemStats.Epochs > res.MemStats.Epochs {
+			res.MemStats.Epochs = r.MemStats.Epochs
+		}
+		energyParts[g] = r.Energy
+	}
+	res.IPC = ipcWeighted / float64(cfg.Cores)
+	res.Epochs = res.MemStats.Epochs
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.Accesses) / float64(res.Instructions) * 1000
+	}
+
+	// Per-epoch series: epoch e's system-wide value is the sum of every
+	// shard's sample for e; shards that stopped earlier contribute
+	// nothing to later epochs. The divisor is the deepest shard's epoch
+	// count, matching the sequential definition "average over completed
+	// epochs".
+	var hotSum, swapSum, epochSwaps int64
+	var hotEpochs, swapEpochs int
+	for _, s := range serieses {
+		for _, v := range s.hotRows {
+			hotSum += v
+		}
+		if len(s.hotRows) > hotEpochs {
+			hotEpochs = len(s.hotRows)
+		}
+		for _, v := range s.swaps {
+			swapSum += v
+		}
+		if len(s.swaps) > swapEpochs {
+			swapEpochs = len(s.swaps)
+		}
+		epochSwaps += s.epochSwaps
+	}
+	if hotEpochs > 0 {
+		res.HotRowsPerEpoch = float64(hotSum) / float64(hotEpochs)
+	}
+	if swapEpochs > 0 {
+		res.SwapsPerEpoch = float64(swapSum) / float64(swapEpochs)
+	} else {
+		res.SwapsPerEpoch = float64(epochSwaps)
+	}
+
+	res.Energy = power.DefaultDRAMEnergy().MergeShards(energyParts, cfg, res.Cycles)
+
+	if opts.Paranoid || envParanoid() {
+		parts := make([]invariant.Summary, 0, len(results))
+		for _, r := range results {
+			if r.Invariants != nil {
+				parts = append(parts, *r.Invariants)
+			}
+		}
+		merged := invariant.MergeSummaries(parts)
+		res.Invariants = &merged
+	}
+	if opts.Events != nil {
+		parts := make([]*obs.Timeline, len(results))
+		for g, r := range results {
+			r.Timeline.OffsetBanks(int32(plan.bankBase[g]))
+			parts[g] = r.Timeline
+		}
+		res.Timeline = obs.MergeTimelines(parts)
+	}
+	return res
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func TestPlanShards(t *testing.T) {
+	for _, tc := range []struct{ cores, banks, wantG int }{
+		{8, 32, 8},   // default config: 8 shards of 4 banks
+		{8, 6, 6},    // bank-limited: 6 shards, cores 6 and 7 wrap around
+		{3, 32, 3},   // uneven banks: 11/11/10
+		{1, 32, 1},   // degenerate: one shard owns everything
+		{16, 16, 16}, // one bank per shard
+	} {
+		p := planShards(tc.cores, tc.banks)
+		if p.count != tc.wantG {
+			t.Fatalf("planShards(%d,%d).count = %d, want %d", tc.cores, tc.banks, p.count, tc.wantG)
+		}
+		// Bank chunks are contiguous, disjoint and cover [0, banks).
+		next := 0
+		for g := 0; g < p.count; g++ {
+			if p.bankBase[g] != next || p.bankCount[g] <= 0 {
+				t.Fatalf("cores=%d banks=%d: shard %d chunk [%d,+%d) breaks coverage at %d",
+					tc.cores, tc.banks, g, p.bankBase[g], p.bankCount[g], next)
+			}
+			next += p.bankCount[g]
+		}
+		if next != tc.banks {
+			t.Fatalf("cores=%d banks=%d: chunks cover %d banks", tc.cores, tc.banks, next)
+		}
+		// Every core appears exactly once, round-robin.
+		seen := make(map[int]bool)
+		for g := 0; g < p.count; g++ {
+			if len(p.cores[g]) == 0 {
+				t.Fatalf("cores=%d banks=%d: shard %d owns no cores", tc.cores, tc.banks, g)
+			}
+			for _, c := range p.cores[g] {
+				if seen[c] || c%p.count != g {
+					t.Fatalf("cores=%d banks=%d: core %d misplaced in shard %d", tc.cores, tc.banks, c, g)
+				}
+				seen[c] = true
+			}
+		}
+		if len(seen) != tc.cores {
+			t.Fatalf("cores=%d banks=%d: %d cores placed", tc.cores, len(seen), tc.banks)
+		}
+	}
+}
+
+// parallelRun executes the standard seeded RRS case in parallel mode.
+func parallelRun(t *testing.T, workers int, events *obs.Config) Result {
+	t.Helper()
+	w, ok := trace.ByName("hmmer")
+	if !ok {
+		t.Fatal("unknown workload hmmer")
+	}
+	cfg := testConfig()
+	res, err := Run(Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          cfg.EpochCycles,
+		Seed:                3,
+		Mitigation:          rrsFactory,
+		Events:              events,
+		Workers:             workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Invariants = nil
+	return res
+}
+
+// TestParallelDeterministicAcrossWorkers is the parallel mode's core
+// contract: the shard decomposition is fixed by the configuration, so
+// the worker count only changes scheduling — every statistic, histogram
+// and epoch sample is bit-identical at -workers 1, 2 and 8.
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	base := parallelRun(t, 1, &obs.Config{RingSize: -1})
+	for _, workers := range []int{2, 8} {
+		got := parallelRun(t, workers, &obs.Config{RingSize: -1})
+		if !reflect.DeepEqual(base, got) {
+			baseJSON, _ := json.MarshalIndent(base, "", "  ")
+			gotJSON, _ := json.MarshalIndent(got, "", "  ")
+			t.Errorf("workers=%d diverges from workers=1\nworkers=1: %s\nworkers=%d: %s",
+				workers, baseJSON, workers, gotJSON)
+		}
+	}
+}
+
+// TestParallelModeBasicSanity checks the merged result is a plausible
+// full-system aggregate, not a single shard's: all cores retire work,
+// epochs complete, and the mitigation handle is nil by contract.
+func TestParallelModeBasicSanity(t *testing.T) {
+	res := parallelRun(t, 4, nil)
+	if res.Mitigation != nil {
+		t.Error("parallel result exposes a mitigation instance")
+	}
+	if res.Epochs == 0 {
+		t.Error("no epoch completed")
+	}
+	if res.Instructions == 0 || res.Accesses == 0 || res.IPC == 0 {
+		t.Errorf("empty aggregate: %+v", res)
+	}
+	if res.SwapsPerEpoch == 0 {
+		t.Error("RRS run merged to zero swaps per epoch")
+	}
+	if res.Energy.TotalMJ() == 0 {
+		t.Error("no energy accounted")
+	}
+	seq, _, err := runSeq(Options{
+		Config:              testConfig(),
+		Workloads:           []trace.Workload{mustWorkload(t, "hmmer")},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          testConfig().EpochCycles,
+		Seed:                3,
+		Mitigation:          rrsFactory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partitioned system has no cross-shard channel contention, so
+	// aggregate throughput should land in the same order of magnitude as
+	// the sequential reference — a coarse check that the shard configs
+	// are not degenerate.
+	if res.Accesses < seq.Accesses/4 || res.Accesses > seq.Accesses*4 {
+		t.Errorf("parallel accesses %d implausible vs sequential %d", res.Accesses, seq.Accesses)
+	}
+}
+
+func mustWorkload(t *testing.T, name string) trace.Workload {
+	t.Helper()
+	w, ok := trace.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	return w
+}
+
+// TestParallelParanoid runs every shard with the self-verification layer
+// on: the merged summary reports all shards' checks and zero violations,
+// and the statistics are bit-identical to the unchecked parallel run.
+func TestParallelParanoid(t *testing.T) {
+	w := mustWorkload(t, "hmmer")
+	cfg := testConfig()
+	opts := Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          cfg.EpochCycles,
+		Seed:                3,
+		Mitigation:          rrsFactory,
+		Workers:             4,
+		Paranoid:            true,
+	}
+	checked, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked.Invariants == nil {
+		t.Fatal("paranoid parallel run carries no invariant summary")
+	}
+	if checked.Invariants.Violations != 0 || checked.Invariants.FirstViolation != "" {
+		t.Fatalf("violations: %d (%s)", checked.Invariants.Violations, checked.Invariants.FirstViolation)
+	}
+	if checked.Invariants.Checks == 0 {
+		t.Fatal("zero checks executed")
+	}
+
+	plain := parallelRun(t, 4, nil)
+	checked.Invariants = nil
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatalf("paranoid mode changed parallel statistics\nplain:   %+v\nchecked: %+v", plain, checked)
+	}
+}
+
+// TestParallelMaxSteps: the budget splits across shards and the typed
+// sentinel still surfaces, wrapped with the failing shard's index.
+func TestParallelMaxSteps(t *testing.T) {
+	w := mustWorkload(t, "hmmer")
+	cfg := testConfig()
+	opts := Options{
+		Config:              cfg,
+		Workloads:           []trace.Workload{w},
+		InstructionsPerCore: 1 << 62,
+		CycleLimit:          cfg.EpochCycles,
+		Seed:                3,
+		Mitigation:          rrsFactory,
+		Workers:             4,
+		MaxSteps:            1000,
+	}
+	if _, err := Run(opts); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+// TestGoldenStatsParallel pins the parallel mode's statistics the same
+// way golden_stats.json pins the sequential path's. The two goldens are
+// intentionally different files: the parallel mode models a
+// bank-partitioned system (see DESIGN.md §12), so its numbers diverge
+// from the sequential interleave by construction. Regenerate with
+//
+//	go test ./internal/sim -run TestGoldenStatsParallel -update
+func TestGoldenStatsParallel(t *testing.T) {
+	matrix := []goldenCase{
+		{Name: "none-hmmer-s3", Workload: "hmmer", Mitigation: "none", Seed: 3},
+		{Name: "rrs-hmmer-s3", Workload: "hmmer", Mitigation: "rrs", Seed: 3},
+		{Name: "rrs-mcf-s190", Workload: "mcf", Mitigation: "rrs", Seed: 190},
+		{Name: "blockhammer-hmmer-s3", Workload: "hmmer", Mitigation: "blockhammer", Seed: 3},
+	}
+	path := filepath.Join("testdata", "golden_parallel.json")
+
+	runCase := func(t *testing.T, c goldenCase) Result {
+		t.Helper()
+		cfg := testConfig()
+		res, err := Run(Options{
+			Config:              cfg,
+			Workloads:           []trace.Workload{mustWorkload(t, c.Workload)},
+			InstructionsPerCore: 1 << 62,
+			CycleLimit:          cfg.EpochCycles,
+			Seed:                c.Seed,
+			Mitigation:          goldenMitigation(t, c.Mitigation),
+			Workers:             2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Invariants = nil
+		return res
+	}
+
+	if *updateGolden {
+		for i := range matrix {
+			raw, err := json.Marshal(runCase(t, matrix[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			matrix[i].Result = raw
+		}
+		out, err := json.MarshalIndent(matrix, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", path, len(matrix))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading parallel goldens (run with -update to create them): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(matrix) {
+		t.Fatalf("golden file has %d cases, matrix has %d — regenerate with -update", len(want), len(matrix))
+	}
+	for i, c := range matrix {
+		c.Result = want[i].Result
+		if want[i].Name != c.Name {
+			t.Fatalf("golden case %d is %s, matrix expects %s — regenerate with -update", i, want[i].Name, c.Name)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			got := runCase(t, c)
+			var exp Result
+			if err := json.Unmarshal(c.Result, &exp); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, exp) {
+				gotJSON, _ := json.MarshalIndent(got, "", "  ")
+				t.Errorf("stats diverge from parallel golden\ngot:  %s\nwant: %s", gotJSON, c.Result)
+			}
+		})
+	}
+}

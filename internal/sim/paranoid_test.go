@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/trace"
@@ -85,6 +86,21 @@ func TestMaxStepsBudget(t *testing.T) {
 		if _, err := Run(opts); !errors.Is(err, ErrStepBudget) {
 			t.Fatalf("paranoid=%v: err = %v, want ErrStepBudget", paranoid, err)
 		}
+	}
+}
+
+// TestMaxStepsBudgetExact: the budget is enforced per access, so a
+// budget far below the checkInterval poll cadence (8192) aborts after
+// exactly that many accesses instead of overshooting to the next poll.
+func TestMaxStepsBudgetExact(t *testing.T) {
+	opts := paranoidOptions(t, false)
+	opts.MaxSteps = 100
+	_, err := Run(opts)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	if want := "after 100 accesses"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want it to report %q (budget must not overshoot)", err, want)
 	}
 }
 

@@ -91,8 +91,9 @@ type Options struct {
 	// observe.
 	Paranoid bool
 	// MaxSteps, when positive, bounds the run to this many memory
-	// accesses; exceeding it fails the run with ErrStepBudget. A guard
-	// against runaway specs, independent of Paranoid.
+	// accesses; the run fails with ErrStepBudget the moment the budget
+	// is consumed — exactly, not at the next checkInterval poll point.
+	// A guard against runaway specs, independent of Paranoid.
 	MaxSteps int64
 	// Deadline, when positive, bounds the run's wall-clock time;
 	// exceeding it fails the run with ErrDeadline.
@@ -105,6 +106,33 @@ type Options struct {
 	// Events.RingSize keeps the histograms and samples but drops the
 	// per-event stream (the job service's shape).
 	Events *obs.Config
+	// Workers selects the execution mode. 0 (the default) is the
+	// sequential reference path: one goroutine interleaves every core
+	// over the shared memory system, bit-identical to all historical
+	// goldens. A positive value enables the bank-sharded parallel mode:
+	// the system is partitioned into G = min(Cores, total banks)
+	// independent shards — each owning a disjoint set of banks, its
+	// round-robin share of the cores, and its own mitigation state — and
+	// up to Workers shards run concurrently. G is fixed by the
+	// configuration, never by Workers, so any Workers >= 1 produces
+	// bit-identical statistics; Workers only caps goroutine concurrency.
+	// The parallel mode models a bank-partitioned system (no cross-shard
+	// bus contention), so its results differ from the sequential path by
+	// construction and are pinned by their own golden. See DESIGN.md §12.
+	Workers int
+
+	// shard carries the parallel mode's per-shard identity; only
+	// runParallel sets it. Nil means a standalone (full-system) run.
+	shard *shardLayout
+}
+
+// shardLayout tells a shard run which global cores it owns, so per-core
+// trace seeds and hot-row splits match the full-system assignment.
+type shardLayout struct {
+	// globalCores maps each local core index to its full-system index.
+	globalCores []int
+	// totalCores is the full system's core count.
+	totalCores int
 }
 
 // envParanoid reports whether RRS_PARANOID=1 forces paranoid mode on.
@@ -185,9 +213,6 @@ type runGuards struct {
 }
 
 func (g *runGuards) poll(accesses int64) error {
-	if g.maxSteps > 0 && accesses >= g.maxSteps {
-		return fmt.Errorf("%w after %d accesses", ErrStepBudget, accesses)
-	}
 	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
 		return ErrDeadline
 	}
@@ -211,17 +236,43 @@ func (g *runGuards) poll(accesses int64) error {
 	return nil
 }
 
+// runSeries is the raw per-epoch data a run produced, alongside the
+// averaged Result fields. The parallel merge needs the series (summing
+// averages across shards with different epoch counts loses information);
+// sequential callers discard it.
+type runSeries struct {
+	// hotRows is the system-wide hot-row count sampled at each completed
+	// epoch boundary.
+	hotRows []int64
+	// swaps is the RRS swap count per completed epoch; nil for other
+	// mitigations.
+	swaps []int64
+	// epochSwaps is the in-progress (uncompleted) epoch's swap count.
+	epochSwaps int64
+}
+
 // Run executes the simulation to completion.
 func Run(opts Options) (Result, error) {
+	if opts.Workers > 0 {
+		return runParallel(opts)
+	}
+	res, _, err := runSeq(opts)
+	return res, err
+}
+
+// runSeq is the sequential engine: one goroutine, every core interleaved
+// over one shared memory system. Both the reference mode and each
+// parallel shard run through it.
+func runSeq(opts Options) (Result, runSeries, error) {
 	cfg := opts.Config
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, runSeries{}, err
 	}
 	if len(opts.Workloads) == 0 {
-		return Result{}, fmt.Errorf("sim: no workloads")
+		return Result{}, runSeries{}, fmt.Errorf("sim: no workloads")
 	}
 	if opts.Readers != nil && len(opts.Readers) < cfg.Cores {
-		return Result{}, fmt.Errorf("sim: %d readers for %d cores; Readers must supply one per core",
+		return Result{}, runSeries{}, fmt.Errorf("sim: %d readers for %d cores; Readers must supply one per core",
 			len(opts.Readers), cfg.Cores)
 	}
 	if opts.InstructionsPerCore <= 0 {
@@ -234,7 +285,7 @@ func Run(opts Options) (Result, error) {
 
 	sys, err := dram.New(cfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, runSeries{}, err
 	}
 	var mit memctrl.Mitigation = memctrl.None{}
 	if opts.Mitigation != nil {
@@ -292,13 +343,20 @@ func Run(opts Options) (Result, error) {
 		if opts.Readers != nil {
 			rd = opts.Readers[i]
 		} else {
+			// A parallel shard seeds and splits by the full-system core
+			// index, so each global core's trace stream is independent of
+			// how cores landed on shards.
+			gi, nCores := i, cfg.Cores
+			if opts.shard != nil {
+				gi, nCores = opts.shard.globalCores[i], opts.shard.totalCores
+			}
 			w := opts.Workloads[i%len(opts.Workloads)]
-			w.HotRows = splitHotRows(w.HotRows, cfg.Cores, i)
+			w.HotRows = splitHotRows(w.HotRows, nCores, gi)
 			gen := trace.NewGenerator(w, trace.GeneratorParams{
 				LineBytes: cfg.LineBytes,
 				RowBytes:  cfg.RowBytes,
 				HotShare:  opts.HotShare,
-				Seed:      trace.PerCoreSeed(opts.Seed, i),
+				Seed:      trace.PerCoreSeed(opts.Seed, gi),
 			})
 			offset := uint64(i) * (totalLines / uint64(cfg.Cores))
 			rd = &offsetReader{r: gen, offset: offset, mod: totalLines}
@@ -330,6 +388,14 @@ func Run(opts Options) (Result, error) {
 		opts.Progress(done, progressTotal)
 	}
 
+	// The step budget is enforced exactly, per access — not at the
+	// sparse checkInterval poll points, which would overshoot budgets
+	// below (or not a multiple of) the interval by up to interval-1.
+	var maxSteps int64
+	if guards != nil {
+		maxSteps = guards.maxSteps
+	}
+
 	// Cache per-core next-issue times: a core's value changes only when
 	// that core issues or completes, so each iteration re-queries just
 	// the core that issued instead of every core.
@@ -357,12 +423,12 @@ func Run(opts Options) (Result, error) {
 		if res.Accesses%checkInterval == 0 && res.Accesses > 0 {
 			if opts.Context != nil {
 				if err := opts.Context.Err(); err != nil {
-					return Result{}, fmt.Errorf("sim: run interrupted: %w", err)
+					return Result{}, runSeries{}, fmt.Errorf("sim: run interrupted: %w", err)
 				}
 			}
 			if guards != nil {
 				if err := guards.poll(res.Accesses); err != nil {
-					return Result{}, err
+					return Result{}, runSeries{}, err
 				}
 			}
 			if opts.Progress != nil {
@@ -386,6 +452,9 @@ func Run(opts Options) (Result, error) {
 			next.Complete(next.Pos(), done+llcHitBusCycles)
 		}
 		nextTimes[nextIdx], havePending[nextIdx] = next.NextIssueTime()
+		if maxSteps > 0 && res.Accesses >= maxSteps {
+			return Result{}, runSeries{}, fmt.Errorf("%w after %d accesses", ErrStepBudget, res.Accesses)
+		}
 	}
 
 	// Close the run: find the global end time and flush epochs.
@@ -412,6 +481,7 @@ func Run(opts Options) (Result, error) {
 	if res.Instructions > 0 {
 		res.MPKI = float64(res.Accesses) / float64(res.Instructions) * 1000
 	}
+	series := runSeries{hotRows: hotRowSamples}
 	if len(hotRowSamples) > 0 {
 		var sum int64
 		for _, v := range hotRowSamples {
@@ -421,6 +491,8 @@ func Run(opts Options) (Result, error) {
 	}
 	if r, ok := mit.(*core.RRS); ok {
 		st := r.Stats()
+		series.swaps = st.SwapsPerEpoch
+		series.epochSwaps = st.EpochSwaps
 		if n := len(st.SwapsPerEpoch); n > 0 {
 			var sum int64
 			for _, v := range st.SwapsPerEpoch {
@@ -436,11 +508,11 @@ func Run(opts Options) (Result, error) {
 	if guards != nil && guards.eng != nil {
 		// Final catalog sweep, then fail the run on any latched violation.
 		if err := guards.eng.RunAll(); err != nil {
-			return Result{}, err
+			return Result{}, runSeries{}, err
 		}
 		if guards.mit != nil {
 			if err := guards.mit.Err(); err != nil {
-				return Result{}, err
+				return Result{}, runSeries{}, err
 			}
 		}
 		s := guards.eng.Summary()
@@ -450,7 +522,7 @@ func Run(opts Options) (Result, error) {
 		res.Timeline = rec.Timeline()
 	}
 	report(progressTotal)
-	return res, nil
+	return res, series, nil
 }
 
 // splitHotRows divides a system-wide hot-row target across cores: core i
