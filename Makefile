@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos fuzz serve experiments examples alloc-check profile shootout-smoke clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos chaos-fleet loadgen-smoke fuzz serve experiments examples alloc-check profile shootout-smoke clean
 
 all: build lint test
 
@@ -43,6 +43,24 @@ paranoid:
 # isolation. Repeated (-count=2) to shake out ordering luck.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Journal' ./internal/service/... ./internal/chaos/...
+
+# chaos-fleet is the multi-node soak: a 3-node fleet runs a sweep of
+# real simulations while one member is kill -9'd mid-sweep and
+# restarted from its journal on the same roster name. Every result must
+# arrive exactly once, bit-identical to a plain-engine reference, and
+# the survivors must visibly shrink the ring around the dead node. Runs
+# under the race detector (the soak shortens its sweep accordingly).
+chaos-fleet:
+	$(GO) test -race -count=1 -run 'TestFleetSoak' -v ./internal/chaos/
+
+# loadgen-smoke measures fleet capacity on an in-process 3-node fleet
+# (real engine, loopback HTTP) and regenerates the committed
+# BENCH_PR8.fleet.json artifact: closed-loop clients ramped 1→2→4, a
+# quarter of the jobs re-using one hot spec to show the fleet-wide
+# cache path.
+loadgen-smoke:
+	$(GO) run ./cmd/rrs-loadgen -local 3 -levels 1,2,4 -jobs-per-client 4 \
+		-cache-fraction 0.25 -out BENCH_PR8.fleet.json
 
 # fuzz hammers the spec decode/normalize/hash pipeline briefly.
 fuzz:

@@ -17,6 +17,22 @@
 // simulation marks only that job failed (rrs_worker_panics_total); the
 // process keeps serving.
 //
+// Fleet mode joins several rrs-serve processes into one logical
+// service. Every node is started with the same roster and its own id:
+//
+//	rrs-serve -addr :8080 -node n1 -fleet 'n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080' -journal n1.journal
+//
+// Any node then accepts any submission: ownership is decided by
+// rendezvous hashing over the spec's content hash, non-owners forward
+// to the owner, job polls are proxied to the job's home node, health
+// probes shrink the ring around dead peers, idle nodes steal queued
+// work from backed-up ones, and every node answers from the whole
+// fleet's result caches. See internal/fleet and DESIGN.md §13.
+//
+// -admission-watermark N sheds new submissions with 429 + Retry-After
+// once the local backlog reaches N (0 disables), keeping latency
+// bounded and steering a fleet's traffic toward idle peers.
+//
 // With -debug-addr, a second listener serves net/http/pprof profiles
 // and expvar counters (for operators only — never expose it publicly):
 //
@@ -32,8 +48,12 @@
 //	curl -s localhost:8080/v1/jobs/job-000001/result
 //	curl -s localhost:8080/metrics
 //
-// SIGINT/SIGTERM starts a graceful shutdown: intake stops, queued jobs
-// are cancelled, running jobs drain within -drain-timeout.
+// SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, intake
+// stops, and accepted jobs get -drain-timeout to finish. Jobs that do
+// not make it are requeued through the journal (their terminal records
+// are withheld, so a -journal restart replays them as pending) — a
+// drain completes accepted work or hands it to the next process, never
+// drops it.
 package main
 
 import (
@@ -46,9 +66,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -72,11 +94,18 @@ func run() error {
 		queueDepth   = flag.Int("queue-depth", 64, "max queued jobs before 429s")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity (-1 disables)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job run limit (0 = none)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for running jobs")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for accepted jobs; leftovers journal-requeue")
 		jobRetries   = flag.Int("job-retries", 2, "automatic retries for transiently failed runs (-1 disables)")
 		journalPath  = flag.String("journal", "", "durable job journal path (JSONL WAL; empty disables durability)")
 		paranoid     = flag.Bool("paranoid", false, "force every job to run with the self-verification layer (stats unchanged; results gain an invariant summary)")
 		simWorkers   = flag.Int("sim-workers", 0, "default per-simulation goroutine count for specs that leave workers unset (0 = sequential engine; positive enables the bank-sharded parallel mode)")
+
+		fleetRoster   = flag.String("fleet", "", "fleet roster as 'id=url,id=url,...' (empty = single-node mode)")
+		nodeID        = flag.String("node", "", "this node's id within -fleet (required with -fleet)")
+		watermark     = flag.Int("admission-watermark", 0, "shed submissions with 429 once the backlog reaches this depth (0 disables)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "fleet peer health-probe cadence")
+		stealInterval = flag.Duration("steal-interval", 250*time.Millisecond, "idle-node work-stealing cadence (negative disables)")
+		leaseTimeout  = flag.Duration("lease-timeout", 30*time.Second, "how long a stolen job may stay out before it requeues locally")
 	)
 	flag.Parse()
 
@@ -91,16 +120,62 @@ func run() error {
 		defer journal.Close()
 	}
 
-	mgr := service.NewManager(service.Options{
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		CacheEntries:      *cacheEntries,
-		DefaultTimeout:    *jobTimeout,
-		JobRetries:        *jobRetries,
-		Journal:           journal,
-		ForceParanoid:     *paranoid,
-		DefaultSimWorkers: *simWorkers,
-	})
+	svcOpts := service.Options{
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		CacheEntries:       *cacheEntries,
+		DefaultTimeout:     *jobTimeout,
+		JobRetries:         *jobRetries,
+		Journal:            journal,
+		ForceParanoid:      *paranoid,
+		DefaultSimWorkers:  *simWorkers,
+		AdmissionWatermark: *watermark,
+	}
+
+	// Build either a lone manager or a fleet node wrapping one; both
+	// paths expose the same mgr/handler pair and the same drain.
+	var (
+		mgr        *service.Manager
+		handler    http.Handler
+		node       *fleet.Node
+		rosterSize int
+	)
+	if *fleetRoster != "" {
+		peers, err := parseRoster(*fleetRoster)
+		if err != nil {
+			return err
+		}
+		rosterSize = len(peers)
+		if *nodeID == "" {
+			return errors.New("-fleet requires -node (this node's roster id)")
+		}
+		var self fleet.Peer
+		for _, p := range peers {
+			if p.ID == *nodeID {
+				self = p
+			}
+		}
+		if self.ID == "" {
+			return fmt.Errorf("-node %q is not in the -fleet roster", *nodeID)
+		}
+		node, err = fleet.New(fleet.Options{
+			Self:          self,
+			Peers:         peers,
+			Service:       svcOpts,
+			ProbeInterval: *probeInterval,
+			StealInterval: *stealInterval,
+			LeaseTimeout:  *leaseTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		mgr = node.Manager()
+		handler = node.Handler()
+	} else {
+		mgr = service.NewManager(svcOpts)
+		handler = service.Handler(mgr)
+	}
+
 	if replayed != nil {
 		if err := mgr.Restore(replayed); err != nil {
 			fmt.Fprintf(os.Stderr, "rrs-serve: journal replay: %v\n", err)
@@ -111,7 +186,7 @@ func run() error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.Handler(mgr),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -122,6 +197,11 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rrs-serve: listening on %s\n", *addr)
+	if node != nil {
+		node.Start()
+		fmt.Fprintf(os.Stderr, "rrs-serve: fleet node %s joined a roster of %d\n",
+			*nodeID, rosterSize)
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -140,28 +220,62 @@ func run() error {
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "rrs-serve: shutting down, draining running jobs...")
+		fmt.Fprintln(os.Stderr, "rrs-serve: draining: intake stopped, finishing accepted jobs...")
 	case err := <-errc:
 		return err
 	}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// Drain before tearing the listener down: /readyz must answer 503
+	// (so load balancers and fleet peers stop routing here) while
+	// accepted jobs finish and clients poll their last results. Jobs
+	// the deadline cuts short keep their journal records pending and
+	// replay on the next start — the drain bug this ordering replaces
+	// cancelled them with terminal records, silently losing accepted
+	// work on every SIGTERM.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	var drainErr error
+	if node != nil {
+		drainErr = node.Drain(drainCtx)
+	} else {
+		drainErr = mgr.Drain(drainCtx)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr,
+			"rrs-serve: drain deadline hit; unfinished jobs will replay from the journal: %v\n", drainErr)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "rrs-serve: http shutdown: %v\n", err)
 	}
 	if debugSrv != nil {
-		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "rrs-serve: debug shutdown: %v\n", err)
 		}
-	}
-	if err := mgr.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "rrs-serve: job drain incomplete: %v\n", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
+}
+
+// parseRoster turns "n1=http://h1:8080,n2=http://h2:8080" into peers.
+func parseRoster(s string) ([]fleet.Peer, error) {
+	var peers []fleet.Peer
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, found := strings.Cut(entry, "=")
+		if !found || id == "" || url == "" {
+			return nil, fmt.Errorf("-fleet entry %q is not id=url", entry)
+		}
+		peers = append(peers, fleet.Peer{ID: id, URL: url})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-fleet roster is empty")
+	}
+	return peers, nil
 }
 
 // debugMux serves the standard Go debug surfaces on a dedicated mux —

@@ -1,0 +1,5 @@
+//go:build !race
+
+package chaos
+
+const raceEnabled = false

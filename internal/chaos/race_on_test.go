@@ -1,0 +1,7 @@
+//go:build race
+
+package chaos
+
+// raceEnabled lets the soaks trade sweep width for head-room: the race
+// detector slows a real simulation roughly 8x on this class of machine.
+const raceEnabled = true

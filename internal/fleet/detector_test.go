@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a switchable probe target shared by detector tests.
+type fakeProbe struct {
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (f *fakeProbe) set(id string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = map[string]bool{}
+	}
+	f.down[id] = down
+}
+
+func (f *fakeProbe) probe(_ context.Context, p Peer) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[p.ID] {
+		return errors.New("injected probe failure")
+	}
+	return nil
+}
+
+func TestDetectorHysteresis(t *testing.T) {
+	peers := testPeers(2)
+	fp := &fakeProbe{}
+	var flaps int
+	d := newDetector(peers, 2, 3, time.Second, fp.probe,
+		func(Peer, bool) { flaps++ })
+	ctx := context.Background()
+
+	routable := func() map[string]bool {
+		out := map[string]bool{}
+		for _, p := range d.Routable() {
+			out[p.ID] = true
+		}
+		return out
+	}
+
+	// Optimistic start: both peers route before any probe has run.
+	if r := routable(); !r["n1"] || !r["n2"] {
+		t.Fatalf("peers should start routable, got %v", r)
+	}
+
+	// n1 goes down: fall=3, so two bad rounds keep it in the ring...
+	fp.set("n1", true)
+	d.ProbeOnce(ctx)
+	d.ProbeOnce(ctx)
+	if r := routable(); !r["n1"] {
+		t.Fatalf("n1 dropped after only 2 failures (fall=3)")
+	}
+	// ...and the third evicts it.
+	d.ProbeOnce(ctx)
+	if r := routable(); r["n1"] || !r["n2"] {
+		t.Fatalf("after 3 failures want n1 out, n2 in; got %v", r)
+	}
+	if flaps != 1 {
+		t.Fatalf("flaps = %d, want 1", flaps)
+	}
+
+	// Recovery: rise=2, one good probe is not enough...
+	fp.set("n1", false)
+	d.ProbeOnce(ctx)
+	if r := routable(); r["n1"] {
+		t.Fatalf("n1 rejoined after only 1 success (rise=2)")
+	}
+	// ...two are.
+	d.ProbeOnce(ctx)
+	if r := routable(); !r["n1"] {
+		t.Fatalf("n1 should rejoin after 2 successes")
+	}
+	if flaps != 2 {
+		t.Fatalf("flaps = %d, want 2", flaps)
+	}
+
+	// A single dropped probe between successes resets the rise streak
+	// but does not evict.
+	fp.set("n2", true)
+	d.ProbeOnce(ctx)
+	fp.set("n2", false)
+	if r := routable(); !r["n2"] {
+		t.Fatalf("n2 evicted by a single dropped probe")
+	}
+}
+
+func TestDetectorSnapshotStreaks(t *testing.T) {
+	peers := testPeers(1)
+	fp := &fakeProbe{}
+	d := newDetector(peers, 2, 3, time.Second, fp.probe, nil)
+	ctx := context.Background()
+
+	fp.set("n1", true)
+	d.ProbeOnce(ctx)
+	d.ProbeOnce(ctx)
+	snap := d.Snapshot()
+	if len(snap) != 1 || !snap[0].Routable || snap[0].Streak != 2 {
+		t.Fatalf("snapshot after 2 failures = %+v, want routable with failure streak 2", snap)
+	}
+}

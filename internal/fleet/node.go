@@ -1,0 +1,404 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Options configures one fleet node. Self must appear in Peers; every
+// node of a fleet is started with the same roster (order irrelevant)
+// and decides ownership locally from it.
+type Options struct {
+	// Self is this node's roster entry. Its ID becomes the job-id
+	// prefix (service.Options.NodeID).
+	Self Peer
+	// Peers is the full fleet roster, Self included.
+	Peers []Peer
+	// Service configures the node's local manager. Run is wrapped with
+	// the fleet-wide cache fan-out (nil falls through to the built-in
+	// engine), NodeID is forced to Self.ID, and a nil Metrics gets a
+	// fresh registry shared with the fleet counters.
+	Service service.Options
+	// HTTPClient carries all peer traffic — forwards, probes, proxies,
+	// steals. Tests inject fault-injecting or retargeting transports
+	// here. nil uses a 30 s-timeout default client.
+	HTTPClient *http.Client
+	// Retry shapes forward/donate retry loops (resilience defaults
+	// apply to the zero value).
+	Retry resilience.Policy
+
+	// ProbeInterval is the failure-detector cadence (default 500 ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 2 s).
+	ProbeTimeout time.Duration
+	// Rise and Fall are the hysteresis thresholds: consecutive probe
+	// successes to rejoin the ring and failures to leave it (defaults
+	// 2 and 3).
+	Rise, Fall int
+
+	// FanoutTimeout bounds the fleet-wide cache lookup before a run
+	// (default 1 s). The lookup is best-effort: a miss or timeout just
+	// runs the simulation.
+	FanoutTimeout time.Duration
+
+	// StealInterval is the idle-node work-stealing cadence (default
+	// 250 ms; negative disables stealing).
+	StealInterval time.Duration
+	// StealThreshold is the minimum backlog a victim must have before
+	// it lends work (default 2 — stealing a lone queued job usually
+	// loses the race with the victim's own workers).
+	StealThreshold int
+	// LeaseTimeout is how long a stolen job may stay out before the
+	// victim reclaims and requeues it (default 30 s). It bounds the
+	// damage of a thief dying mid-run.
+	LeaseTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.Rise <= 0 {
+		o.Rise = 2
+	}
+	if o.Fall <= 0 {
+		o.Fall = 3
+	}
+	if o.FanoutTimeout <= 0 {
+		o.FanoutTimeout = time.Second
+	}
+	if o.StealInterval == 0 {
+		o.StealInterval = 250 * time.Millisecond
+	}
+	if o.StealThreshold <= 0 {
+		o.StealThreshold = 2
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// internalPrefix mounts the unrouted local service API. Peer traffic
+// (forwarded submits, proxied polls, probes) targets it so a forwarded
+// request is handled by the receiving node, never re-forwarded — loop
+// prevention is structural, not a header convention.
+const internalPrefix = "/v1/fleet/local"
+
+// lease tracks one job lent to a thief.
+type lease struct {
+	job     *service.Job
+	thief   string
+	expires time.Time
+}
+
+// Node is one fleet member: a local manager plus the peer layer —
+// ring routing, failure detection, forwarding, stealing, cache fan-out.
+type Node struct {
+	opts    Options
+	self    Peer
+	remotes []Peer
+	mgr     *service.Manager
+	local   http.Handler // the plain single-node API over mgr
+	met     *service.Metrics
+	det     *detector
+	hc      *http.Client
+
+	// clients are retrying service.Clients per remote peer, targeting
+	// the peer's internal (unrouted) API surface.
+	clients map[string]*service.Client
+
+	mu       sync.Mutex
+	lent     map[string]*lease
+	stealIdx int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a node and its manager. The caller owns journal replay
+// (node.Manager().Restore) and must Start the background loops once
+// the node's listener is up.
+func New(opts Options) (*Node, error) {
+	opts = opts.withDefaults()
+	if opts.Self.ID == "" || opts.Self.URL == "" {
+		return nil, fmt.Errorf("fleet: Self needs an ID and a URL")
+	}
+	var remotes []Peer
+	seen := make(map[string]bool, len(opts.Peers))
+	selfInRoster := false
+	for _, p := range opts.Peers {
+		if p.ID == "" || p.URL == "" {
+			return nil, fmt.Errorf("fleet: peer %+v needs an ID and a URL", p)
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("fleet: duplicate peer id %q", p.ID)
+		}
+		seen[p.ID] = true
+		if p.ID == opts.Self.ID {
+			selfInRoster = true
+			continue
+		}
+		remotes = append(remotes, p)
+	}
+	if !selfInRoster {
+		return nil, fmt.Errorf("fleet: Self %q not in the peer roster", opts.Self.ID)
+	}
+
+	n := &Node{
+		opts:    opts,
+		self:    opts.Self,
+		remotes: remotes,
+		hc:      opts.HTTPClient,
+		clients: make(map[string]*service.Client, len(remotes)),
+		lent:    make(map[string]*lease),
+		stop:    make(chan struct{}),
+	}
+	for _, p := range remotes {
+		n.clients[p.ID] = service.NewClient(p.URL+internalPrefix,
+			service.WithHTTPClient(n.hc),
+			service.WithRetryPolicy(opts.Retry))
+	}
+
+	so := opts.Service
+	so.NodeID = opts.Self.ID
+	if so.Metrics == nil {
+		so.Metrics = service.NewMetrics()
+	}
+	n.met = so.Metrics
+	inner := so.Run
+	if inner == nil {
+		inner = service.RunSpec
+	}
+	so.Run = n.fanoutRun(inner)
+	n.registerMetrics()
+	n.mgr = service.NewManager(so)
+	n.local = service.Handler(n.mgr)
+
+	n.det = newDetector(remotes, opts.Rise, opts.Fall, opts.ProbeTimeout,
+		n.probePeer, func(p Peer, routable bool) {
+			n.met.Inc("rrs_fleet_peer_flaps_total", 1)
+		})
+	return n, nil
+}
+
+func (n *Node) registerMetrics() {
+	for name, help := range map[string]string{
+		"rrs_fleet_forwards_total":            "Submissions forwarded to their ring owner.",
+		"rrs_fleet_forward_failovers_total":   "Forward attempts moved to the next-ranked peer after the preferred owner failed.",
+		"rrs_fleet_local_fallbacks_total":     "Submissions run locally because every remote candidate failed.",
+		"rrs_fleet_proxied_total":             "Job status/result/cancel requests proxied to the job's home node.",
+		"rrs_fleet_proxy_misses_total":        "Proxied requests whose home node was unreachable (answered 404 so the client resubmits).",
+		"rrs_fleet_cache_fanout_checks_total": "Runs that asked the fleet's caches before simulating.",
+		"rrs_fleet_cache_fanout_hits_total":   "Runs answered by a peer's result cache instead of simulating.",
+		"rrs_fleet_steals_total":              "Jobs this node stole from a peer and completed.",
+		"rrs_fleet_steal_failures_total":      "Stolen runs that failed locally (the victim's lease reclaims the job).",
+		"rrs_fleet_lent_total":                "Queued jobs lent to a thief peer.",
+		"rrs_fleet_donations_accepted_total":  "Stolen results donated back and accepted.",
+		"rrs_fleet_donations_stale_total":     "Donations dropped because the job already had a terminal state or was re-running.",
+		"rrs_fleet_reclaims_total":            "Stolen-job leases that expired and requeued locally.",
+		"rrs_fleet_peer_flaps_total":          "Peer routability transitions (either direction) after hysteresis.",
+	} {
+		n.met.Counter(name, help)
+	}
+	n.met.Gauge("rrs_fleet_peers", "Fleet roster size, self included.",
+		func() float64 { return float64(len(n.remotes) + 1) })
+	n.met.Gauge("rrs_fleet_peers_live", "Routable peers, self included unless draining.",
+		func() float64 { return float64(len(n.liveSet())) })
+	n.met.Gauge("rrs_fleet_lent", "Jobs currently lent to thief peers.",
+		func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return float64(len(n.lent))
+		})
+}
+
+// Manager exposes the node's local manager (journal restore, tests).
+func (n *Node) Manager() *service.Manager { return n.mgr }
+
+// Start launches the background loops: failure-detector probes, the
+// idle work-stealing loop, and the lease reaper.
+func (n *Node) Start() {
+	n.loop(n.opts.ProbeInterval, func(ctx context.Context) { n.det.ProbeOnce(ctx) })
+	if n.opts.StealInterval > 0 {
+		n.loop(n.opts.StealInterval, func(ctx context.Context) { n.StealOnce(ctx) })
+	}
+	n.loop(reaperInterval(n.opts.LeaseTimeout), func(context.Context) { n.reapLeases() })
+}
+
+func reaperInterval(lease time.Duration) time.Duration {
+	if iv := lease / 4; iv < time.Second {
+		return iv
+	}
+	return time.Second
+}
+
+// loop runs fn every interval until Close.
+func (n *Node) loop(interval time.Duration, fn func(ctx context.Context)) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-n.stop
+			cancel()
+		}()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				fn(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the background loops. It does not touch the manager —
+// pair it with Drain or the manager's Shutdown.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// StartDrain flips the node into drain mode: /readyz answers 503 (so
+// peers' failure detectors pull this node from their rings within a
+// probe round), Submit refuses new work, and the steal loop goes idle.
+func (n *Node) StartDrain() { n.mgr.StartDrain() }
+
+// Drain gracefully winds the node down: stop accepting, give accepted
+// jobs until ctx to finish, journal-requeue the rest (see
+// service.Manager.Drain), and stop the peer loops.
+func (n *Node) Drain(ctx context.Context) error {
+	n.StartDrain()
+	err := n.mgr.Drain(ctx)
+	n.Close()
+	return err
+}
+
+// ProbeOnce drives one synchronous failure-detector round — how tests
+// advance the detector deterministically.
+func (n *Node) ProbeOnce(ctx context.Context) { n.det.ProbeOnce(ctx) }
+
+// probePeer is one health probe: liveness and readiness must both
+// pass for the peer to count as routable.
+func (n *Node) probePeer(ctx context.Context, p Peer) error {
+	c := service.NewClient(p.URL,
+		service.WithHTTPClient(n.hc),
+		service.WithRetryPolicy(resilience.Policy{MaxAttempts: 1}))
+	if err := c.Health(ctx); err != nil {
+		return err
+	}
+	return c.Ready(ctx)
+}
+
+// liveSet is the ring: routable remote peers plus self unless
+// draining.
+func (n *Node) liveSet() []Peer {
+	live := n.det.Routable()
+	if !n.mgr.Draining() {
+		live = append(live, n.self)
+	}
+	return live
+}
+
+// peerByID resolves a roster entry (self excluded).
+func (n *Node) peerByID(id string) (Peer, bool) {
+	for _, p := range n.remotes {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// fanoutRun wraps the manager's executor with the fleet-wide cache
+// lookup: before simulating, ask every routable peer's result cache for
+// the spec's content hash; any hit is returned as this job's result
+// (and enters the local cache through the normal completion path).
+func (n *Node) fanoutRun(inner service.RunFunc) service.RunFunc {
+	return func(ctx context.Context, spec service.Spec, progress func(done, total int64)) (sim.Result, error) {
+		if res, ok := n.peerCached(ctx, spec.Hash()); ok {
+			n.met.Inc("rrs_fleet_cache_fanout_hits_total", 1)
+			if progress != nil {
+				progress(1, 1)
+			}
+			return res, nil
+		}
+		return inner(ctx, spec, progress)
+	}
+}
+
+// cacheEnvelope is the GET /v1/fleet/cache/{hash} payload.
+type cacheEnvelope struct {
+	Hash   string     `json:"hash"`
+	Result sim.Result `json:"result"`
+}
+
+// peerCached fans a cache lookup out to all routable peers and returns
+// the first hit. Best-effort: errors and timeouts are misses.
+func (n *Node) peerCached(ctx context.Context, hash string) (sim.Result, bool) {
+	peers := n.det.Routable()
+	if len(peers) == 0 {
+		return sim.Result{}, false
+	}
+	n.met.Inc("rrs_fleet_cache_fanout_checks_total", 1)
+	fctx, cancel := context.WithTimeout(ctx, n.opts.FanoutTimeout)
+	defer cancel()
+	type answer struct {
+		res sim.Result
+		ok  bool
+	}
+	ch := make(chan answer, len(peers))
+	for _, p := range peers {
+		go func(p Peer) {
+			res, ok := n.fetchCached(fctx, p, hash)
+			ch <- answer{res, ok}
+		}(p)
+	}
+	for range peers {
+		if a := <-ch; a.ok {
+			return a.res, true
+		}
+	}
+	return sim.Result{}, false
+}
+
+func (n *Node) fetchCached(ctx context.Context, p Peer, hash string) (sim.Result, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		p.URL+"/v1/fleet/cache/"+hash, nil)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sim.Result{}, false
+	}
+	var env cacheEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return sim.Result{}, false
+	}
+	return env.Result, true
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []Peer {
+	out := make([]Peer, n)
+	for i := range out {
+		out[i] = Peer{ID: fmt.Sprintf("n%d", i+1), URL: fmt.Sprintf("http://n%d.invalid", i+1)}
+	}
+	return out
+}
+
+func TestRankDeterministicAcrossInputOrder(t *testing.T) {
+	peers := testPeers(5)
+	reversed := make([]Peer, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	for seed := 0; seed < 50; seed++ {
+		hash := fmt.Sprintf("hash-%d", seed)
+		a, b := rank(hash, peers), rank(hash, reversed)
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("hash %q: rank depends on roster order: %v vs %v", hash, a, b)
+			}
+		}
+	}
+}
+
+func TestRankRemovalOnlyPromotes(t *testing.T) {
+	// The rendezvous property the failover walk relies on: deleting the
+	// owner from the peer set must leave the relative order of the
+	// survivors untouched, so the forwarder's next candidate is exactly
+	// what the shrunken ring would elect.
+	peers := testPeers(5)
+	for seed := 0; seed < 100; seed++ {
+		hash := fmt.Sprintf("hash-%d", seed)
+		full := rank(hash, peers)
+		var survivors []Peer
+		for _, p := range peers {
+			if p.ID != full[0].ID {
+				survivors = append(survivors, p)
+			}
+		}
+		shrunk := rank(hash, survivors)
+		for i := range shrunk {
+			if shrunk[i].ID != full[i+1].ID {
+				t.Fatalf("hash %q: shrunken ring %v is not the full ring's tail %v",
+					hash, shrunk, full[1:])
+			}
+		}
+	}
+}
+
+func TestRankSpreadsOwnership(t *testing.T) {
+	peers := testPeers(3)
+	owned := map[string]int{}
+	const keys = 3000
+	for seed := 0; seed < keys; seed++ {
+		owned[rank(fmt.Sprintf("hash-%d", seed), peers)[0].ID]++
+	}
+	for _, p := range peers {
+		// Perfect balance is keys/3; FNV-1a should land every peer well
+		// within ±50% of it.
+		if got := owned[p.ID]; got < keys/6 || got > keys/2 {
+			t.Fatalf("peer %s owns %d of %d keys — distribution %v is skewed",
+				p.ID, got, keys, owned)
+		}
+	}
+}
+
+func TestScoreSeparatorPreventsConcatenationCollision(t *testing.T) {
+	if score("ab", "c") == score("a", "bc") {
+		t.Fatal("score(ab,c) == score(a,bc): separator is not mixing")
+	}
+}

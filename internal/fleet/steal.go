@@ -1,0 +1,252 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Work stealing evens load without a scheduler: an idle node polls
+// backed-up peers, borrows one queued job at a time, runs it through its
+// own manager (sharing the local cache and worker pool), and donates the
+// result back. The victim keeps the job record — the client keeps
+// polling the same id on the same node — and guards the loan with a
+// lease: a thief that dies mid-run simply never donates, the lease
+// expires, and the job requeues locally. Duplicate outcomes (a donation
+// racing the reclaimed job's local run) resolve in CompleteExternal,
+// which drops everything after the first terminal state; the engine's
+// determinism makes whichever copy wins bit-identical to the loser.
+
+// stealRequest asks a peer to lend one queued job.
+type stealRequest struct {
+	Thief string `json:"thief"`
+}
+
+// stealGrant lends one job: the victim's job id (for the donation) and
+// the spec to run.
+type stealGrant struct {
+	ID   string       `json:"id"`
+	Spec service.Spec `json:"spec"`
+}
+
+// donation returns a stolen job's outcome. OK=false reports a failed
+// run so the victim can requeue immediately instead of waiting out the
+// lease.
+type donation struct {
+	ID     string     `json:"id"`
+	OK     bool       `json:"ok"`
+	Result sim.Result `json:"result"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// donationReply acknowledges a donation.
+type donationReply struct {
+	Accepted bool `json:"accepted"`
+}
+
+// StealOnce makes one work-stealing attempt: if this node is idle (no
+// backlog, spare workers) it walks the routable peers from a rotating
+// start, borrows the first job offered, runs it and donates the result.
+// Reports whether a job was stolen and completed. Exposed so tests and
+// the background loop share one deterministic entry point.
+func (n *Node) StealOnce(ctx context.Context) bool {
+	if n.mgr.Draining() {
+		return false
+	}
+	backlog, busy, workers := n.mgr.Load()
+	if backlog > 0 || busy >= workers {
+		return false // we have our own work; stealing would just queue it
+	}
+	peers := n.det.Routable()
+	if len(peers) == 0 {
+		return false
+	}
+	n.mu.Lock()
+	start := n.stealIdx
+	n.stealIdx++
+	n.mu.Unlock()
+	for i := range peers {
+		p := peers[(start+i)%len(peers)]
+		grant, ok := n.requestSteal(ctx, p)
+		if !ok {
+			continue
+		}
+		n.runStolen(ctx, p, grant)
+		return true
+	}
+	return false
+}
+
+// requestSteal asks one peer for work. A single attempt, no retries:
+// the steal loop ticks again soon, and a peer with nothing to lend
+// answers 204.
+func (n *Node) requestSteal(ctx context.Context, p Peer) (stealGrant, bool) {
+	body, err := json.Marshal(stealRequest{Thief: n.self.ID})
+	if err != nil {
+		return stealGrant{}, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		p.URL+"/v1/fleet/steal", bytes.NewReader(body))
+	if err != nil {
+		return stealGrant{}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return stealGrant{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return stealGrant{}, false
+	}
+	var g stealGrant
+	if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+		return stealGrant{}, false
+	}
+	return g, true
+}
+
+// runStolen executes a borrowed job locally and donates the outcome.
+// RunSync routes through this node's own manager, so the result also
+// lands in the local cache — the next fan-out for the same spec hits
+// here even if the victim is gone by then.
+func (n *Node) runStolen(ctx context.Context, victim Peer, g stealGrant) {
+	res, err := n.mgr.RunSync(ctx, g.Spec)
+	d := donation{ID: g.ID, OK: err == nil, Result: res}
+	if err != nil {
+		n.met.Inc("rrs_fleet_steal_failures_total", 1)
+		d.Error = err.Error()
+	} else {
+		n.met.Inc("rrs_fleet_steals_total", 1)
+	}
+	n.donate(ctx, victim, d)
+}
+
+// donate posts a stolen job's outcome back to its home node, with
+// retries — losing a donation costs a whole re-run after the lease
+// expires, so it is worth a few attempts. If the victim stays
+// unreachable its lease reclaims the job; exactly-once holds either
+// way.
+func (n *Node) donate(ctx context.Context, victim Peer, d donation) {
+	body, err := json.Marshal(d)
+	if err != nil {
+		return
+	}
+	resilience.Do(ctx, n.opts.Retry, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			victim.URL+"/v1/fleet/donate", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("fleet: donate to %s: status %d", victim.ID, resp.StatusCode)
+			if resilience.TransientStatus(resp.StatusCode) {
+				return resilience.MarkTransient(err)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// handleSteal is the victim side: lend the oldest queued job if the
+// backlog justifies it, 204 otherwise. The job record stays — only the
+// right to execute moves.
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		service.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding steal request: %w", err))
+		return
+	}
+	if req.Thief == "" {
+		service.WriteError(w, http.StatusBadRequest, errors.New("steal request needs a thief id"))
+		return
+	}
+	backlog, _, _ := n.mgr.Load()
+	if backlog < n.opts.StealThreshold {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	j, ok := n.mgr.StealQueued()
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	n.mu.Lock()
+	n.lent[j.ID()] = &lease{
+		job:     j,
+		thief:   req.Thief,
+		expires: time.Now().Add(n.opts.LeaseTimeout),
+	}
+	n.mu.Unlock()
+	n.met.Inc("rrs_fleet_lent_total", 1)
+	service.WriteJSON(w, http.StatusOK, stealGrant{ID: j.ID(), Spec: j.Snapshot().Spec})
+}
+
+// handleDonate is the victim side of the return path: resolve the lease
+// and either complete the job with the thief's result or requeue it.
+func (n *Node) handleDonate(w http.ResponseWriter, r *http.Request) {
+	var d donation
+	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+		service.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding donation: %w", err))
+		return
+	}
+	n.mu.Lock()
+	l, ok := n.lent[d.ID]
+	if ok {
+		delete(n.lent, d.ID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		// No lease: it expired (the job requeued locally) or this is a
+		// duplicate donation. Either way the result is surplus.
+		n.met.Inc("rrs_fleet_donations_stale_total", 1)
+		service.WriteJSON(w, http.StatusOK, donationReply{Accepted: false})
+		return
+	}
+	if !d.OK {
+		// The thief's run failed; give the job back to local workers.
+		n.mgr.RequeueStolen(l.job)
+		service.WriteJSON(w, http.StatusOK, donationReply{Accepted: false})
+		return
+	}
+	accepted := n.mgr.CompleteExternal(l.job, d.Result)
+	if accepted {
+		n.met.Inc("rrs_fleet_donations_accepted_total", 1)
+	} else {
+		n.met.Inc("rrs_fleet_donations_stale_total", 1)
+	}
+	service.WriteJSON(w, http.StatusOK, donationReply{Accepted: accepted})
+}
+
+// reapLeases requeues jobs whose thief went quiet past the lease.
+func (n *Node) reapLeases() {
+	now := time.Now()
+	var expired []*lease
+	n.mu.Lock()
+	for id, l := range n.lent {
+		if now.After(l.expires) {
+			delete(n.lent, id)
+			expired = append(expired, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range expired {
+		n.met.Inc("rrs_fleet_reclaims_total", 1)
+		n.mgr.RequeueStolen(l.job)
+	}
+}

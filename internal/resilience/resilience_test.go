@@ -198,3 +198,74 @@ func TestDoUnlimitedAttemptsEventuallySucceed(t *testing.T) {
 		t.Fatalf("err=%v calls=%d; want success on the ninth call", err, calls)
 	}
 }
+
+func TestDoExpiredContextNeverCallsFn(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead before Do starts
+	calls := 0
+	err := Do(ctx, Policy{}, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn called %d times on an expired context, want 0", calls)
+	}
+}
+
+func TestDoRetryAfterBeyondDeadlineGivesUpImmediately(t *testing.T) {
+	// The server asks for a 10s wait but the caller has ~50ms left: Do
+	// must return the real failure promptly rather than sleep toward a
+	// deadline it cannot survive — or worse, return a bare context
+	// error that hides what the server said.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	overloaded := errors.New("overloaded")
+	calls := 0
+	start := time.Now()
+	err := Do(ctx, Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		func(context.Context) error {
+			calls++
+			return WithRetryAfter(overloaded, 10*time.Second)
+		})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Do took %v; must give up without serving the 10s hint", elapsed)
+	}
+	if !errors.Is(err, overloaded) {
+		t.Fatalf("err = %v, want the server's error surfaced", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (the hint can never fit the deadline)", calls)
+	}
+}
+
+func TestDoJitterStaysInBoundsAndAboveHint(t *testing.T) {
+	// Every recorded sleep must respect both sides of the contract:
+	// never above the attempt's jitter cap, never below a Retry-After
+	// hint that exceeds the drawn jitter.
+	var delays []time.Duration
+	const hint = 5 * time.Millisecond
+	p := Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond, Multiplier: 2,
+		Rand: rand.New(rand.NewSource(99)), Sleep: instant(&delays)}
+	Do(context.Background(), p, func(context.Context) error {
+		return WithRetryAfter(errors.New("blip"), hint)
+	})
+	if len(delays) != 7 {
+		t.Fatalf("slept %d times, want 7", len(delays))
+	}
+	cap := 10 * time.Millisecond
+	for attempt, d := range delays {
+		if d < hint {
+			t.Fatalf("attempt %d slept %v, below the %v Retry-After floor", attempt, d, hint)
+		}
+		if d > cap {
+			t.Fatalf("attempt %d slept %v, above the %v jitter cap", attempt, d, cap)
+		}
+		if cap < 80*time.Millisecond {
+			cap *= 2
+		}
+	}
+}

@@ -109,6 +109,18 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
+// Ready checks GET /readyz with a single probe — no retries, because a
+// readiness probe wants the instantaneous verdict: a draining or
+// overloaded node answers 503 and the prober must see that, not a
+// smoothed-over success. Returns nil only for a 200.
+func (c *Client) Ready(ctx context.Context) error {
+	_, _, _, err := c.roundTrip(ctx, http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return fmt.Errorf("service client: %s ready: %w", c.base, err)
+	}
+	return nil
+}
+
 // Submit POSTs spec and returns the accepted job's view. Retried
 // transparently on transient failures: the spec content hash makes the
 // resubmission idempotent server-side.

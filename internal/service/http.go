@@ -19,6 +19,7 @@ import (
 //	GET    /v1/jobs/{id}/result                   → 200 ResultEnvelope | 202 while active
 //	DELETE /v1/jobs/{id}     cancel active / delete terminal → 200 JobView
 //	GET    /healthz          liveness             → 200 {"status":"ok",...}
+//	GET    /readyz           readiness            → 200, or 503 while draining/overloaded
 //	GET    /metrics          Prometheus text (or JSON with ?format=json)
 const apiPrefix = "/v1/jobs"
 
@@ -73,11 +74,29 @@ func Handler(m *Manager) http.Handler {
 			"queue":   m.queue.Len(),
 		})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		handleReady(m, w, r)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(m.Metrics(), w, r)
 	})
 	return recoverMiddleware(m.Metrics(), mux)
 }
+
+// RecoverMiddleware exposes the panic-containment middleware to the
+// fleet layer, whose handler wraps Handler with routing logic of its
+// own and needs the same blast-radius guarantee.
+func RecoverMiddleware(met *Metrics, next http.Handler) http.Handler {
+	return recoverMiddleware(met, next)
+}
+
+// WriteJSON writes v as an indented JSON response with the given
+// status. Exported for the fleet handler.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes err as the canonical JSON error body. Exported for
+// the fleet handler.
+func WriteError(w http.ResponseWriter, status int, err error) { writeError(w, status, err) }
 
 // recoverMiddleware contains a handler panic to its own request: the
 // client gets a 500 with a JSON error and the process keeps serving.
@@ -98,6 +117,45 @@ func recoverMiddleware(met *Metrics, next http.Handler) http.Handler {
 }
 
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	spec, ok := ReadSpec(w, r)
+	if !ok {
+		return
+	}
+	RespondSubmit(m, w, spec)
+}
+
+// handleReady serves GET /readyz: 503 while the manager drains (or has
+// closed) or while admission control is shedding, 200 otherwise. The
+// split from /healthz is what lets a load balancer — or a fleet peer's
+// failure detector — stop routing to a draining node that is still
+// alive and finishing its backlog.
+func handleReady(m *Manager, w http.ResponseWriter, r *http.Request) {
+	backlog := m.queue.Len()
+	switch {
+	case m.Draining():
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "queue": backlog,
+		})
+	case m.opts.AdmissionWatermark > 0 && backlog >= m.opts.AdmissionWatermark:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "overloaded", "queue": backlog,
+			"watermark": m.opts.AdmissionWatermark,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "queue": backlog,
+		})
+	}
+}
+
+// ReadSpec decodes a submission body, enforcing the size bound and
+// strict field checking. On failure it writes the error response and
+// reports ok=false. Exported for the fleet handler, which must decode
+// the spec itself to route by content hash before deciding which node's
+// manager the submission reaches.
+func ReadSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -106,16 +164,29 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("spec exceeds %d bytes", tooBig.Limit))
-			return
+			return Spec{}, false
 		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
-		return
+		return Spec{}, false
 	}
+	return spec, true
+}
+
+// RespondSubmit submits spec to m and writes the canonical HTTP
+// response: 201 on acceptance, 200 on a cache hit, 429 + Retry-After on
+// backpressure (full queue or shed by admission control), 503 on
+// drain/shutdown. Shared by the plain handler and the fleet layer so a
+// forwarded submission answers byte-identically to a local one.
+func RespondSubmit(m *Manager, w http.ResponseWriter, spec Spec) {
 	j, err := m.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -238,5 +239,115 @@ func TestFailedJobResultReports422(t *testing.T) {
 	if _, err := client.Result(ctx, v.ID); err == nil ||
 		!strings.Contains(err.Error(), "422") {
 		t.Fatalf("Result error = %v, want a 422 failure", err)
+	}
+}
+
+func TestReadyzSplitFromHealthz(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	srv, m := newTestServer(t, Options{Workers: 1, AdmissionWatermark: 2},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			<-gate
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	client := NewClient(srv.URL)
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Idle: both green, and the client helpers agree.
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle /readyz = %d, want 200", resp.StatusCode)
+	}
+	if err := client.Ready(ctx); err != nil {
+		t.Fatalf("Client.Ready idle: %v", err)
+	}
+
+	// Backlog at the watermark: not ready (503 + Retry-After), but
+	// alive — the node is degraded, not dead, and a load balancer must
+	// be able to tell. Fill to exactly the watermark: one job running
+	// (off the queue) plus two queued.
+	if _, err := m.Submit(uniqueSpec(1)); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, busy, _ := m.Load(); busy == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never claimed the first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for seed := uint64(2); seed <= 3; seed++ {
+		if _, err := m.Submit(uniqueSpec(seed)); err != nil {
+			t.Fatalf("submit %d: %v", seed, err)
+		}
+	}
+	resp := get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded /readyz = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("overloaded /readyz missing Retry-After")
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("overloaded /healthz = %d, want 200 (alive)", resp.StatusCode)
+	}
+	// Client.Ready reports the instantaneous verdict instead of
+	// retrying the 503 into a timeout.
+	start := time.Now()
+	err := client.Ready(ctx)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("Client.Ready overloaded = %v, want 503 APIError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Client.Ready took %v; a probe must not retry", elapsed)
+	}
+}
+
+func TestReadyzDraining(t *testing.T) {
+	srv, m := newTestServer(t, Options{Workers: 1}, instantRun)
+	m.StartDrain()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "draining" {
+		t.Fatalf("status = %q, want draining", body.Status)
+	}
+	// Submissions now refuse with 503 + Retry-After so clients move on.
+	raw, _ := json.Marshal(uniqueSpec(1))
+	post, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %d, want 503", post.StatusCode)
+	}
+	if post.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining submit missing Retry-After")
 	}
 }

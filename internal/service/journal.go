@@ -322,7 +322,16 @@ func compactJournal(path string, jobs []ReplayedJob) error {
 // an older build, hand edits) are marked failed rather than replayed
 // forever.
 func (m *Manager) Restore(rep *Replayed) error {
-	if rep == nil || len(rep.Jobs) == 0 {
+	if rep == nil {
+		return nil
+	}
+	// Surface the replay in the metrics even when nothing (or only
+	// garbage) was in the log: torn-line and compaction counts are how
+	// an operator audits what a crash cost.
+	m.met.Inc("rrs_journal_compactions_total", 1)
+	m.met.Inc("rrs_journal_torn_lines_total", int64(rep.Dropped))
+	m.met.Inc("rrs_journal_replayed_jobs_total", int64(len(rep.Jobs)))
+	if len(rep.Jobs) == 0 {
 		return nil
 	}
 	var errs []error

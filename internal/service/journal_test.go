@@ -357,3 +357,197 @@ func shutdown(t *testing.T, m *Manager) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 }
+
+func TestJournalTornLineWithStaleCompactionTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	gate := make(chan struct{})
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			if spec.Seed >= 3 {
+				<-gate
+			}
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	for seed := uint64(1); seed <= 2; seed++ {
+		j, err := m1.Submit(uniqueSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	pending, err := m1.Submit(uniqueSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kill -9 while seed 3 runs: the journal closes first, so its
+	// terminal record (written during manager teardown) is lost and the
+	// job must replay as pending.
+	j1.Close()
+	close(gate)
+	shutdown(t, m1)
+
+	// The crash also tore the final append AND interrupted a previous
+	// compaction, leaving a half-written .compact-* temp alongside the
+	// journal. Replay must survive both: drop the torn line, ignore the
+	// stale temp (compaction writes to a fresh temp and renames
+	// atomically, so leftovers are inert).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"accepted","id":"job-9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	stale := filepath.Join(dir, "jobs.journal.compact-stale1")
+	if err := os.WriteFile(stale, []byte(`{"type":"accepted","id":"ghost-1",`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 1 || len(rep.Jobs) != 3 || rep.Pending != 1 || rep.Results != 2 {
+		t.Fatalf("replay = %d jobs, %d pending, %d results, %d dropped; want 3/1/2/1",
+			len(rep.Jobs), rep.Pending, rep.Results, rep.Dropped)
+	}
+	for _, rj := range rep.Jobs {
+		if rj.ID == "ghost-1" {
+			t.Fatalf("stale compaction temp leaked into the replay")
+		}
+	}
+
+	// Restore surfaces the replay in the metrics an operator audits
+	// after a crash.
+	opts := Options{Workers: 1, Journal: j2}
+	m2 := stubManager(t, opts, instantRun)
+	if err := m2.Restore(rep); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	counters := m2.Metrics().JSON().Counters
+	for name, want := range map[string]int64{
+		"rrs_journal_compactions_total":   1,
+		"rrs_journal_torn_lines_total":    1,
+		"rrs_journal_replayed_jobs_total": 3,
+		"rrs_jobs_restored_total":         3,
+	} {
+		if counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, counters[name], want)
+		}
+	}
+	// The pending job finishes under its original id on the new manager.
+	j3, ok := m2.Get(pending.ID())
+	if !ok {
+		t.Fatalf("pending job %s not restored", pending.ID())
+	}
+	if v := waitDone(t, j3); v.State != StateDone {
+		t.Fatalf("replayed job %s: %s (%s)", v.ID, v.State, v.Error)
+	}
+	j2.Close()
+}
+
+func TestDrainRequeuesUnfinishedJobs(t *testing.T) {
+	// The SIGTERM regression this guards: a drain that runs out of time
+	// must hand unfinished accepted jobs to the next process via the
+	// journal — the old Shutdown path cancelled them with terminal
+	// records, silently losing accepted work.
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	gate := make(chan struct{})
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1},
+		func(ctx context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			}
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	running, err := m1.Submit(uniqueSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m1.Submit(uniqueSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m1.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want deadline exceeded with the gate held", err)
+	}
+	if _, err := m1.Submit(uniqueSpec(3)); !errors.Is(err, ErrClosed) && !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain = %v, want refusal", err)
+	}
+	if got := m1.Metrics().JSON().Counters["rrs_jobs_requeued_total"]; got != 2 {
+		t.Fatalf("rrs_jobs_requeued_total = %d, want 2 withheld terminal records", got)
+	}
+	close(gate)
+	j1.Close()
+
+	// Restart: both jobs replay as pending under their original ids and
+	// complete. Nothing was lost, nothing runs twice (each id maps to
+	// one job with one terminal state).
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.Pending != 2 || len(rep.Jobs) != 2 {
+		t.Fatalf("replay = %d jobs, %d pending; want both drained jobs pending", len(rep.Jobs), rep.Pending)
+	}
+	m2 := stubManager(t, Options{Workers: 1, Journal: j2}, instantRun)
+	if err := m2.Restore(rep); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for _, id := range []string{running.ID(), queued.ID()} {
+		j, ok := m2.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost across the drain", id)
+		}
+		if v := waitDone(t, j); v.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+		}
+	}
+}
+
+func TestDrainCompletesJobsWhenBudgetAllows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	m1, j1, _ := journalManager(t, path, Options{Workers: 1}, instantRun)
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		j, err := m1.Submit(uniqueSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatalf("Drain with a generous budget: %v", err)
+	}
+	for _, id := range ids {
+		j, ok := m1.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v := j.Snapshot(); v.State != StateDone {
+			t.Fatalf("job %s: %s, want done before the drain returned", id, v.State)
+		}
+	}
+	j1.Close()
+
+	// The journal carries them as terminal: a restart re-serves results,
+	// re-enqueues nothing.
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if rep.Pending != 0 || rep.Results != 3 {
+		t.Fatalf("replay = %d pending, %d results; want 0/3", rep.Pending, rep.Results)
+	}
+}

@@ -196,6 +196,19 @@ type Options struct {
 	// the job pool size: one sets goroutines per simulation, the other
 	// simulations in flight.
 	DefaultSimWorkers int
+	// NodeID, when non-empty, prefixes job ids ("node1.job-000001"
+	// instead of "job-000001") so ids are globally unique across a fleet
+	// and carry their home node — internal/fleet routes status and
+	// result polls by this prefix. Single-node deployments leave it
+	// empty and keep the bare id format.
+	NodeID string
+	// AdmissionWatermark sheds load before the queue is hard-full: once
+	// the backlog has reached it, Submit refuses work that would need a
+	// simulation with ErrOverloaded (HTTP 429 + Retry-After). Cache
+	// hits and coalesced submissions are still answered — they cost no
+	// worker. 0 disables shedding; the hard QueueDepth bound still
+	// applies.
+	AdmissionWatermark int
 	// Run overrides the simulation executor (nil = the built-in engine).
 	// Chaos tests wrap an executor with injected faults here; it is also
 	// the seam for alternative backends.
@@ -216,6 +229,7 @@ type Manager struct {
 	inflight map[string]*Job // hash → queued/running job, for submit coalescing
 	seq      uint64
 	closed   bool
+	draining bool // drain mode: intake refused, cancellations journal-requeue
 
 	busy    int64 // workers mid-run, under mu
 	workers sync.WaitGroup
@@ -274,7 +288,7 @@ func NewManager(opts Options) *Manager {
 		met:      opts.Metrics,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-		runJob:   runSpec,
+		runJob:   RunSpec,
 	}
 	if opts.Run != nil {
 		m.runJob = opts.Run
@@ -287,13 +301,15 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// runSpec is the production runJob: compile the spec and run the engine.
+// RunSpec is the production runJob: compile the spec and run the engine.
 // Every run carries a histogram-only recorder (RingSize < 0 disables the
 // per-event ring): the manager folds the occupancy/stall aggregates into
 // its Prometheus registry and strips the timeline before the result is
 // cached, so client payloads and the content-addressed cache are
-// byte-identical to an unobserved run.
-func runSpec(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error) {
+// byte-identical to an unobserved run. Exported so wrappers around
+// Options.Run (the fleet's cache fan-out, chaos injectors) can fall
+// through to the built-in engine.
+func RunSpec(ctx context.Context, spec Spec, progress func(done, total int64)) (sim.Result, error) {
 	opts, err := spec.Options()
 	if err != nil {
 		return sim.Result{}, err
@@ -311,6 +327,8 @@ func (m *Manager) registerMetrics() {
 		"rrs_jobs_failed_total":           "Jobs that ended in error (timeouts included).",
 		"rrs_jobs_cancelled_total":        "Jobs cancelled before completing.",
 		"rrs_jobs_rejected_total":         "Submissions refused by a full queue.",
+		"rrs_jobs_shed_total":             "Submissions shed by admission control (backlog over the watermark).",
+		"rrs_jobs_requeued_total":         "Jobs whose terminal record was withheld during a drain so a restart's journal replay re-enqueues them.",
 		"rrs_jobs_coalesced_total":        "Submissions answered by an already queued or running job with the same spec hash.",
 		"rrs_jobs_restored_total":         "Jobs restored from the journal at startup (pending re-enqueues plus terminal records).",
 		"rrs_cache_hits_total":            "Submissions answered from the result cache.",
@@ -320,6 +338,9 @@ func (m *Manager) registerMetrics() {
 		"rrs_worker_panics_total":         "Panics recovered inside a worker's simulation run.",
 		"rrs_http_panics_total":           "Panics recovered by the HTTP middleware.",
 		"rrs_journal_errors_total":        "Journal append failures (the job proceeds; durability is degraded).",
+		"rrs_journal_replayed_jobs_total": "Jobs reconstructed from the journal during startup replay.",
+		"rrs_journal_torn_lines_total":    "Corrupt or torn journal lines dropped during replay (a kill -9 mid-append leaves at most one).",
+		"rrs_journal_compactions_total":   "Journal compactions completed (one per successful startup replay).",
 		"rrs_sim_epochs_total":            "Simulated epochs completed across all finished runs.",
 		"rrs_sim_swaps_total":             "RRS row swaps performed across all finished runs.",
 		"rrs_sim_accesses_total":          "Memory accesses simulated across all finished runs.",
@@ -470,6 +491,10 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
 	if prior, ok := m.inflight[hash]; ok {
 		m.mu.Unlock()
 		m.met.Inc("rrs_jobs_submitted_total", 1)
@@ -477,8 +502,12 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		return prior, nil
 	}
 	m.seq++
+	id := fmt.Sprintf("job-%06d", m.seq)
+	if m.opts.NodeID != "" {
+		id = m.opts.NodeID + "." + id
+	}
 	j := &Job{
-		id:        fmt.Sprintf("job-%06d", m.seq),
+		id:        id,
 		seq:       m.seq,
 		spec:      norm,
 		hash:      hash,
@@ -507,6 +536,20 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		return j, nil
 	}
 	m.met.Inc("rrs_cache_misses_total", 1)
+
+	if wm := m.opts.AdmissionWatermark; wm > 0 && m.queue.Len() >= wm {
+		// Graceful degradation: past the watermark, refuse work that
+		// would need a simulation rather than letting the backlog build
+		// to the hard bound. The 429 + Retry-After this maps to tells
+		// well-behaved clients (and forwarding fleet peers) to back off
+		// or fail over.
+		m.met.Inc("rrs_jobs_shed_total", 1)
+		m.finish(j, StateCancelled, ErrOverloaded.Error())
+		m.mu.Lock()
+		delete(m.jobs, j.id)
+		m.mu.Unlock()
+		return nil, ErrOverloaded
+	}
 
 	if err := m.queue.Push(j); err != nil {
 		if errors.Is(err, ErrQueueFull) {
@@ -794,8 +837,190 @@ func (m *Manager) finish(j *Job, state State, errMsg string, result ...*sim.Resu
 	}
 	j.mu.Unlock()
 	m.retire(j)
-	m.journal(terminalRecord(j))
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	if draining && state == StateCancelled {
+		// Drain semantics: a cancellation during drain is "ran out of
+		// time", not "the client gave up". Withholding the terminal
+		// record leaves the accepted record unmatched, so the next
+		// startup's journal replay re-enqueues the job instead of
+		// losing it.
+		m.met.Inc("rrs_jobs_requeued_total", 1)
+	} else {
+		m.journal(terminalRecord(j))
+	}
 	close(j.done)
+}
+
+// StartDrain flips the manager into drain mode: Submit refuses new work
+// with ErrDraining (HTTP 503) and /readyz reports not-ready, while
+// already-accepted jobs keep running. Call Drain to bound the wind-down.
+func (m *Manager) StartDrain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Draining reports whether the manager is in drain mode or closed —
+// either way it is not accepting work, which is what /readyz serves.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining || m.closed
+}
+
+// Backlog reports how many accepted jobs are waiting for a worker.
+func (m *Manager) Backlog() int { return m.queue.Len() }
+
+// Load reports the serving pressure: queued backlog, workers mid-run,
+// and the pool size. The fleet's steal loop uses it to decide when this
+// node is idle enough to take a peer's work.
+func (m *Manager) Load() (backlog, busy, workers int) {
+	m.mu.Lock()
+	busy = int(m.busy)
+	m.mu.Unlock()
+	return m.queue.Len(), busy, m.opts.Workers
+}
+
+// CachedResult answers a content-hash lookup from the local result
+// cache — the building block of fleet-wide cache hits: before running a
+// job, a peer asks the rest of the fleet for the hash first.
+func (m *Manager) CachedResult(hash string) (sim.Result, bool) {
+	return m.cache.Get(hash)
+}
+
+// active counts jobs not yet in a terminal state.
+func (m *Manager) active() int {
+	n := 0
+	for _, j := range m.List() {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Drain is the graceful half of shutdown: stop intake, then give the
+// backlog and running jobs until ctx expires to finish. Jobs that do
+// not make it are cancelled with their terminal journal record
+// withheld, so the accepted records replay as pending on the next
+// startup — a drain never loses accepted work, it completes it or hands
+// it to the future (or, in a fleet, to the node's replacement). Returns
+// ctx.Err() when the deadline cut jobs short, nil when everything
+// finished.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.StartDrain()
+
+	// Let the workers chew through what is already accepted.
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	timedOut := false
+wait:
+	for m.active() > 0 {
+		select {
+		case <-ctx.Done():
+			timedOut = true
+			break wait
+		case <-tick.C:
+		}
+	}
+
+	// Stop the pool. Anything still queued (including jobs lent to a
+	// fleet peer, which live outside the fifo) or running is cancelled
+	// now — under drain mode finish() withholds their terminal records.
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	for _, j := range m.queue.Close() {
+		m.finish(j, StateCancelled, "drained: will replay on restart")
+		m.met.Inc("rrs_jobs_cancelled_total", 1)
+	}
+	for _, j := range m.List() {
+		j.mu.Lock()
+		terminal := j.state.terminal()
+		running := j.state == StateRunning
+		j.mu.Unlock()
+		switch {
+		case terminal:
+		case running:
+			m.Cancel(j.ID())
+		default:
+			// Queued but not in the fifo: lent to a thief that never
+			// donated, or raced the queue close.
+			m.finish(j, StateCancelled, "drained: will replay on restart")
+			m.met.Inc("rrs_jobs_cancelled_total", 1)
+		}
+	}
+	m.workers.Wait()
+	if timedOut {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// StealQueued pops the oldest queued job off the run queue for remote
+// execution, leaving its record — and its client-visible id — in place.
+// The caller must either deliver a result via CompleteExternal or give
+// the job back via RequeueStolen; a fleet node guards that obligation
+// with a lease and reclaims expired ones.
+func (m *Manager) StealQueued() (*Job, bool) {
+	if m.Draining() {
+		return nil, false
+	}
+	for {
+		j, ok := m.queue.TryPop()
+		if !ok {
+			return nil, false
+		}
+		j.mu.Lock()
+		queued := j.state == StateQueued
+		j.mu.Unlock()
+		if queued {
+			return j, true
+		}
+		// Cancelled while waiting; skip it like a worker would.
+	}
+}
+
+// RequeueStolen returns a stolen job to the local queue (thief gone,
+// lease expired). If the queue is no longer accepting, the job is
+// cancelled — under drain that withholds the terminal record, so it
+// still replays on restart.
+func (m *Manager) RequeueStolen(j *Job) {
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if !queued {
+		return
+	}
+	if err := m.queue.Push(j); err != nil {
+		m.finish(j, StateCancelled, fmt.Sprintf("stolen job could not requeue: %v", err))
+		m.met.Inc("rrs_jobs_cancelled_total", 1)
+	}
+}
+
+// CompleteExternal finishes a stolen job with a result computed
+// elsewhere (a fleet thief's donation). Reports false when the job
+// already reached a terminal state — a duplicate donation, or a local
+// re-run that won the race — in which case the result is dropped and
+// exactly-once delivery is preserved by the job's single terminal
+// state.
+func (m *Manager) CompleteExternal(j *Job, res sim.Result) bool {
+	j.mu.Lock()
+	if j.state.terminal() || j.state == StateRunning {
+		j.mu.Unlock()
+		return false
+	}
+	j.mu.Unlock()
+	res.Mitigation = nil
+	res.Timeline = nil
+	m.cache.Put(j.hash, res)
+	m.finish(j, StateDone, "", &res)
+	m.met.Inc("rrs_jobs_done_total", 1)
+	return true
 }
 
 // Shutdown stops intake, cancels the backlog, and waits for running

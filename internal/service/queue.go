@@ -13,6 +13,15 @@ var ErrQueueFull = errors.New("service: job queue full")
 // down.
 var ErrClosed = errors.New("service: manager closed")
 
+// ErrOverloaded is returned by Manager.Submit when admission control
+// sheds the job (backlog at or over Options.AdmissionWatermark); HTTP
+// maps it to 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("service: server overloaded, try again later")
+
+// ErrDraining is returned by Manager.Submit while the manager drains
+// for shutdown; HTTP maps it to 503 with a Retry-After hint.
+var ErrDraining = errors.New("service: server draining")
+
 // fifo is a bounded FIFO of jobs. Push never blocks (it fails fast when
 // full — backpressure belongs at the API edge, not in a goroutine pile);
 // Pop blocks until an item arrives or the queue closes. Close unblocks
@@ -62,6 +71,22 @@ func (q *fifo) Pop() (j *Job, ok bool) {
 	j = q.items[0]
 	// Slide instead of re-slicing so the backing array does not pin
 	// completed jobs.
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return j, true
+}
+
+// TryPop removes the oldest job without blocking; ok is false when the
+// queue is empty or closed. The work-stealing path uses it: a steal
+// must never block a handler on an empty queue.
+func (q *fifo) TryPop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
 	copy(q.items, q.items[1:])
 	q.items[len(q.items)-1] = nil
 	q.items = q.items[:len(q.items)-1]
