@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos chaos-fleet loadgen-smoke fuzz serve experiments examples alloc-check profile shootout-smoke clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos chaos-fleet chaos-replica loadgen-smoke fuzz serve experiments examples alloc-check profile shootout-smoke clean
 
 all: build lint test
 
@@ -52,6 +52,16 @@ chaos:
 # under the race detector (the soak shortens its sweep accordingly).
 chaos-fleet:
 	$(GO) test -race -count=1 -run 'TestFleetSoak' -v ./internal/chaos/
+
+# chaos-replica is the durable-fleet soak: a 3-node fleet with result
+# replication completes a sweep, then the node that owns a completed
+# result is kill -9'd. Resubmitting that spec must be answered from the
+# successor's replica — a cache hit with zero re-executions anywhere,
+# bit-identical to a plain-engine reference — and a replacement node
+# then joins via gossip (-join semantics) and is routed work without
+# any survivor restarting.
+chaos-replica:
+	$(GO) test -race -count=1 -run 'TestFleetReplica' -v ./internal/chaos/
 
 # loadgen-smoke measures fleet capacity on an in-process 3-node fleet
 # (real engine, loopback HTTP) and regenerates the committed

@@ -254,6 +254,8 @@ func scrapeFleetCounters(ctx context.Context, targets []string) map[string]int64
 		"rrs_fleet_forwards_total", "rrs_fleet_forward_failovers_total",
 		"rrs_fleet_proxied_total", "rrs_fleet_cache_fanout_hits_total",
 		"rrs_fleet_steals_total", "rrs_fleet_donations_accepted_total",
+		"rrs_fleet_replicated_total", "rrs_fleet_replicas_received_total",
+		"rrs_fleet_repair_replicated_total",
 	}
 	sums := map[string]int64{}
 	hc := &http.Client{Timeout: 5 * time.Second}

@@ -18,16 +18,26 @@
 // process keeps serving.
 //
 // Fleet mode joins several rrs-serve processes into one logical
-// service. Every node is started with the same roster and its own id:
+// service. A fleet can be seeded with a static roster, every node
+// started with the same list and its own id:
 //
 //	rrs-serve -addr :8080 -node n1 -fleet 'n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080' -journal n1.journal
+//
+// or grown dynamically: a new node names only itself and one or more
+// live peers to gossip with, and the fleet learns it without any
+// survivor restarting —
+//
+//	rrs-serve -addr :8080 -node n4 -advertise http://h4:8080 -join http://h1:8080 -journal n4.journal
 //
 // Any node then accepts any submission: ownership is decided by
 // rendezvous hashing over the spec's content hash, non-owners forward
 // to the owner, job polls are proxied to the job's home node, health
-// probes shrink the ring around dead peers, idle nodes steal queued
-// work from backed-up ones, and every node answers from the whole
-// fleet's result caches. See internal/fleet and DESIGN.md §13.
+// probes (carrying the gossiped membership table) shrink the ring
+// around dead peers, idle nodes steal queued work from backed-up ones,
+// every node answers from the whole fleet's result caches, and each
+// completed result is replicated to its ring successor so a single
+// node death never costs a re-simulation (anti-entropy repair keeps
+// that invariant through churn). See internal/fleet, DESIGN.md §13–14.
 //
 // -admission-watermark N sheds new submissions with 429 + Retry-After
 // once the local backlog reaches N (0 disables), keeping latency
@@ -100,12 +110,16 @@ func run() error {
 		paranoid     = flag.Bool("paranoid", false, "force every job to run with the self-verification layer (stats unchanged; results gain an invariant summary)")
 		simWorkers   = flag.Int("sim-workers", 0, "default per-simulation goroutine count for specs that leave workers unset (0 = sequential engine; positive enables the bank-sharded parallel mode)")
 
-		fleetRoster   = flag.String("fleet", "", "fleet roster as 'id=url,id=url,...' (empty = single-node mode)")
-		nodeID        = flag.String("node", "", "this node's id within -fleet (required with -fleet)")
+		fleetRoster   = flag.String("fleet", "", "fleet seed roster as 'id=url,id=url,...' (empty = single-node mode unless -join)")
+		nodeID        = flag.String("node", "", "this node's id within the fleet (required with -fleet or -join)")
+		joinSeeds     = flag.String("join", "", "comma-separated peer base URLs to gossip-join a running fleet (requires -node and -advertise)")
+		advertise     = flag.String("advertise", "", "base URL peers reach this node at (required with -join)")
 		watermark     = flag.Int("admission-watermark", 0, "shed submissions with 429 once the backlog reaches this depth (0 disables)")
 		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "fleet peer health-probe cadence")
 		stealInterval = flag.Duration("steal-interval", 250*time.Millisecond, "idle-node work-stealing cadence (negative disables)")
 		leaseTimeout  = flag.Duration("lease-timeout", 30*time.Second, "how long a stolen job may stay out before it requeues locally")
+		replicaQueue  = flag.Int("replica-queue", 0, "bounded result-replication queue depth (0 = default 128; negative disables replication)")
+		repairEvery   = flag.Duration("repair-interval", 0, "anti-entropy replica-repair cadence (0 = default 30s; negative disables)")
 	)
 	flag.Parse()
 
@@ -140,31 +154,46 @@ func run() error {
 		node       *fleet.Node
 		rosterSize int
 	)
-	if *fleetRoster != "" {
-		peers, err := parseRoster(*fleetRoster)
-		if err != nil {
-			return err
+	if *fleetRoster != "" || *joinSeeds != "" {
+		if *nodeID == "" {
+			return errors.New("fleet mode requires -node (this node's id)")
+		}
+		var peers []fleet.Peer
+		var self fleet.Peer
+		if *fleetRoster != "" {
+			var err error
+			peers, err = parseRoster(*fleetRoster)
+			if err != nil {
+				return err
+			}
+			for _, p := range peers {
+				if p.ID == *nodeID {
+					self = p
+				}
+			}
+			if self.ID == "" {
+				return fmt.Errorf("-node %q is not in the -fleet roster", *nodeID)
+			}
+		} else {
+			// -join only: the node knows itself and learns the rest by
+			// gossiping with the seeds once it is listening.
+			if *advertise == "" {
+				return errors.New("-join requires -advertise (the base URL peers reach this node at)")
+			}
+			self = fleet.Peer{ID: *nodeID, URL: *advertise}
+			peers = []fleet.Peer{self}
 		}
 		rosterSize = len(peers)
-		if *nodeID == "" {
-			return errors.New("-fleet requires -node (this node's roster id)")
-		}
-		var self fleet.Peer
-		for _, p := range peers {
-			if p.ID == *nodeID {
-				self = p
-			}
-		}
-		if self.ID == "" {
-			return fmt.Errorf("-node %q is not in the -fleet roster", *nodeID)
-		}
+		var err error
 		node, err = fleet.New(fleet.Options{
-			Self:          self,
-			Peers:         peers,
-			Service:       svcOpts,
-			ProbeInterval: *probeInterval,
-			StealInterval: *stealInterval,
-			LeaseTimeout:  *leaseTimeout,
+			Self:             self,
+			Peers:            peers,
+			Service:          svcOpts,
+			ProbeInterval:    *probeInterval,
+			StealInterval:    *stealInterval,
+			LeaseTimeout:     *leaseTimeout,
+			ReplicationQueue: *replicaQueue,
+			RepairInterval:   *repairEvery,
 		})
 		if err != nil {
 			return err
@@ -199,8 +228,20 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "rrs-serve: listening on %s\n", *addr)
 	if node != nil {
 		node.Start()
-		fmt.Fprintf(os.Stderr, "rrs-serve: fleet node %s joined a roster of %d\n",
-			*nodeID, rosterSize)
+		if *joinSeeds != "" {
+			seeds := splitSeeds(*joinSeeds)
+			joinCtx, cancelJoin := context.WithTimeout(ctx, 30*time.Second)
+			err := node.Join(joinCtx, seeds)
+			cancelJoin()
+			if err != nil {
+				return fmt.Errorf("fleet join: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "rrs-serve: fleet node %s joined via %d seed(s); now sees %d member(s)\n",
+				*nodeID, len(seeds), len(node.Members()))
+		} else {
+			fmt.Fprintf(os.Stderr, "rrs-serve: fleet node %s started on a seed roster of %d\n",
+				*nodeID, rosterSize)
+		}
 	}
 
 	var debugSrv *http.Server
@@ -256,6 +297,17 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+// splitSeeds turns "http://h1:8080,http://h2:8080" into a URL list.
+func splitSeeds(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // parseRoster turns "n1=http://h1:8080,n2=http://h2:8080" into peers.

@@ -68,13 +68,14 @@ type fleetNode struct {
 
 // bootFleetNode is one process start: replay the journal, join the
 // roster, listen, and point the node's virtual host at the listener.
-func bootFleetNode(t *testing.T, hm *hostmap, roster []fleet.Peer, self fleet.Peer, jpath string) *fleetNode {
+// mod tweaks the options before fleet.New (nil keeps the stock shape).
+func bootFleetNode(t *testing.T, hm *hostmap, roster []fleet.Peer, self fleet.Peer, jpath string, mod func(o *fleet.Options)) *fleetNode {
 	t.Helper()
 	j, rep, err := service.OpenJournal(jpath)
 	if err != nil {
 		t.Fatalf("%s: journal: %v", self.ID, err)
 	}
-	node, err := fleet.New(fleet.Options{
+	opts := fleet.Options{
 		Self:    self,
 		Peers:   roster,
 		Service: service.Options{Workers: 1, QueueDepth: 64, Journal: j},
@@ -89,7 +90,11 @@ func bootFleetNode(t *testing.T, hm *hostmap, roster []fleet.Peer, self fleet.Pe
 		Fall:          2,
 		StealInterval: 100 * time.Millisecond,
 		LeaseTimeout:  10 * time.Second,
-	})
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	node, err := fleet.New(opts)
 	if err != nil {
 		t.Fatalf("%s: fleet.New: %v", self.ID, err)
 	}
@@ -184,10 +189,18 @@ func TestFleetSoakKillMinusNine(t *testing.T) {
 		{ID: "n3", URL: "http://n3.rrs-fleet.invalid"},
 	}
 	hm := newHostmap()
+	// Replication off: this soak pins the pre-replication failover story —
+	// a killed node's work is genuinely re-run and must still be delivered
+	// exactly once, bit-identical. The replica soak covers the
+	// zero-re-run path.
+	noReplicas := func(o *fleet.Options) {
+		o.ReplicationQueue = -1
+		o.RepairInterval = -1
+	}
 	nodes := make([]*fleetNode, len(roster))
 	for i, p := range roster {
 		nodes[i] = bootFleetNode(t, hm, roster, p,
-			filepath.Join(dir, p.ID+".journal"))
+			filepath.Join(dir, p.ID+".journal"), noReplicas)
 		if len(nodes[i].replay.Jobs) != 0 {
 			t.Fatalf("%s: fresh journal replayed %d jobs", p.ID, len(nodes[i].replay.Jobs))
 		}
@@ -266,7 +279,7 @@ func TestFleetSoakKillMinusNine(t *testing.T) {
 				time.Sleep(5 * time.Millisecond)
 			}
 			nodes[0] = bootFleetNode(t, hm, roster, roster[0],
-				filepath.Join(dir, roster[0].ID+".journal"))
+				filepath.Join(dir, roster[0].ID+".journal"), noReplicas)
 			jobsAtCrash = len(nodes[0].replay.Jobs)
 			pendingAtCrash = nodes[0].replay.Pending
 		}

@@ -60,12 +60,41 @@ func newDetector(peers []Peer, rise, fall int, timeout time.Duration,
 	return d
 }
 
+// SetPeers swaps the probed peer set — the seam dynamic membership
+// drives on every table change. Known peers keep their hysteresis
+// state as long as their URL is unchanged; a new peer (or a known ID
+// reappearing at a new address) starts optimistic, exactly like the
+// boot roster, so a freshly joined node is routable immediately and a
+// dead one costs the usual `fall` rounds. Removed peers drop their
+// state entirely — a tombstoned member cannot linger as "routable".
+func (d *detector) SetPeers(peers []Peer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := make(map[string]Peer, len(d.peers))
+	for _, p := range d.peers {
+		old[p.ID] = p
+	}
+	next := make(map[string]*probeState, len(peers))
+	for _, p := range peers {
+		if s, ok := d.state[p.ID]; ok && old[p.ID].URL == p.URL {
+			next[p.ID] = s
+			continue
+		}
+		next[p.ID] = &probeState{routable: true}
+	}
+	d.peers = append([]Peer(nil), peers...)
+	d.state = next
+}
+
 // ProbeOnce probes every peer concurrently and folds the verdicts into
 // the hysteresis state. Exposed (via the Node) so tests can drive the
 // detector deterministically instead of racing a ticker.
 func (d *detector) ProbeOnce(ctx context.Context) {
+	d.mu.Lock()
+	peers := append([]Peer(nil), d.peers...)
+	d.mu.Unlock()
 	var wg sync.WaitGroup
-	for _, p := range d.peers {
+	for _, p := range peers {
 		wg.Add(1)
 		go func(p Peer) {
 			defer wg.Done()
@@ -77,10 +106,15 @@ func (d *detector) ProbeOnce(ctx context.Context) {
 	wg.Wait()
 }
 
-// observe applies one probe verdict with rise/fall hysteresis.
+// observe applies one probe verdict with rise/fall hysteresis. A peer
+// removed by SetPeers mid-probe is silently dropped.
 func (d *detector) observe(p Peer, ok bool) {
 	d.mu.Lock()
 	s := d.state[p.ID]
+	if s == nil {
+		d.mu.Unlock()
+		return
+	}
 	var flipped bool
 	if ok {
 		s.failures = 0

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -27,11 +28,27 @@ var fastRetry = resilience.Policy{
 
 // swapHandler lets a server exist before the node that serves it: the
 // roster needs every URL up front, the node needs the roster, and the
-// handler needs the node.
-type swapHandler struct{ h atomic.Value }
+// handler needs the node. Tests also re-Store it to wrap a live node's
+// handler (e.g. with injected latency).
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) Store(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) Load() http.Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.h
+}
 
 func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if h, ok := s.h.Load().(http.Handler); ok {
+	if h := s.Load(); h != nil {
 		h.ServeHTTP(w, r)
 		return
 	}
@@ -42,6 +59,7 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type tfNode struct {
 	node *Node
 	srv  *httptest.Server
+	swap *swapHandler  // the server's live handler slot, re-Store to wrap
 	runs *atomic.Int64 // how many times this node's engine stub ran
 }
 
@@ -60,7 +78,7 @@ func startFleet(t *testing.T, n int, mod func(i int, o *Options)) []*tfNode {
 		srv := httptest.NewServer(swaps[i])
 		t.Cleanup(srv.Close)
 		roster[i] = Peer{ID: fmt.Sprintf("n%d", i+1), URL: srv.URL}
-		nodes[i] = &tfNode{srv: srv, runs: &atomic.Int64{}}
+		nodes[i] = &tfNode{srv: srv, swap: swaps[i], runs: &atomic.Int64{}}
 	}
 	for i := range nodes {
 		runs := nodes[i].runs
@@ -91,7 +109,7 @@ func startFleet(t *testing.T, n int, mod func(i int, o *Options)) []*tfNode {
 			t.Fatalf("New(%s): %v", roster[i].ID, err)
 		}
 		nodes[i].node = node
-		swaps[i].h.Store(node.Handler())
+		swaps[i].Store(node.Handler())
 		t.Cleanup(func() {
 			node.Close()
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

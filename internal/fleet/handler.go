@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,9 @@ import (
 //	POST /v1/jobs                 fleet submit: ring-routed, forwarded to the owner
 //	GET/DELETE /v1/jobs/{id}...   proxied to the job's home node (by id prefix)
 //	GET  /v1/fleet/cache/{hash}   local result-cache lookup (the fan-out target)
+//	POST /v1/fleet/replica        accept a result copy into the local cache
+//	POST /v1/fleet/gossip         membership-table exchange (probe piggyback)
+//	GET  /v1/fleet/members        the local membership table
 //	POST /v1/fleet/steal          lend one queued job to a thief peer
 //	POST /v1/fleet/donate         accept a stolen job's result back
 //	GET  /v1/fleet/status         ring membership, load and lease state
@@ -40,6 +44,9 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleRouted)
 
 	mux.HandleFunc("GET /v1/fleet/cache/{hash}", n.handleCache)
+	mux.HandleFunc("POST /v1/fleet/replica", n.handleReplica)
+	mux.HandleFunc("POST /v1/fleet/gossip", n.handleGossip)
+	mux.HandleFunc("GET /v1/fleet/members", n.handleMembers)
 	mux.HandleFunc("POST /v1/fleet/steal", n.handleSteal)
 	mux.HandleFunc("POST /v1/fleet/donate", n.handleDonate)
 	mux.HandleFunc("GET /v1/fleet/status", n.handleStatus)
@@ -64,6 +71,18 @@ func (n *Node) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	order := rank(spec.Hash(), n.liveSet())
+	if len(order) == 0 {
+		// The live set is empty: this node is draining and sees no
+		// routable peer. Refusing with a retry hint is strictly better
+		// than the old behavior (running locally while unready) — the
+		// client backs off and resubmits once the detector readmits a
+		// peer or a replacement joins.
+		n.met.Inc("rrs_fleet_no_owner_total", 1)
+		w.Header().Set("Retry-After", "1")
+		service.WriteError(w, http.StatusServiceUnavailable,
+			errors.New("no live fleet members to route to; retry shortly"))
+		return
+	}
 	first := true
 	for _, p := range order {
 		if p.ID == n.self.ID {
@@ -75,7 +94,7 @@ func (n *Node) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
 			n.met.Inc("rrs_fleet_forward_failovers_total", 1)
 		}
 		first = false
-		v, err := n.clients[p.ID].Submit(r.Context(), spec)
+		v, err := n.clientFor(p).Submit(r.Context(), spec)
 		if err == nil {
 			n.met.Inc("rrs_fleet_forwards_total", 1)
 			status := http.StatusCreated
@@ -163,6 +182,29 @@ func (n *Node) handleCache(w http.ResponseWriter, r *http.Request) {
 		fmt.Errorf("hash %s not cached on %s", hash, n.self.ID))
 }
 
+// handleGossip is the receiving half of the probe-piggybacked
+// membership exchange: absorb the caller's table, answer with ours. It
+// deliberately answers while draining — that is how this node's own
+// tombstone spreads — and doubles as the liveness half of a probe.
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var in gossipPayload
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&in); err != nil {
+		http.Error(w, "bad gossip payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.absorb(in.Members)
+	service.WriteJSON(w, http.StatusOK,
+		gossipPayload{From: n.self.ID, Members: n.Members()})
+}
+
+// handleMembers exposes the membership table read-only (operators,
+// join scripts, tests).
+func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
+	service.WriteJSON(w, http.StatusOK,
+		gossipPayload{From: n.self.ID, Members: n.Members()})
+}
+
 // handleStatus reports ring membership and load — the operator's view
 // of one node's opinion of the fleet.
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -171,12 +213,15 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	lent := len(n.lent)
 	n.mu.Unlock()
 	service.WriteJSON(w, http.StatusOK, map[string]any{
-		"self":     n.self,
-		"draining": n.mgr.Draining(),
-		"backlog":  backlog,
-		"busy":     busy,
-		"workers":  workers,
-		"lent":     lent,
-		"peers":    n.det.Snapshot(),
+		"self":               n.self,
+		"draining":           n.mgr.Draining(),
+		"backlog":            backlog,
+		"busy":               busy,
+		"workers":            workers,
+		"lent":               lent,
+		"peers":              n.det.Snapshot(),
+		"members":            n.Members(),
+		"membership_version": n.mem.currentVersion(),
+		"replica_lag":        len(n.repq),
 	})
 }

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+)
+
+// Member is one row of the fleet's membership table: who a node is,
+// where to reach it, and a per-member epoch that totally orders updates
+// about it. A row with Left set is a tombstone — the member announced a
+// permanent departure (drain), as opposed to merely failing probes.
+//
+// Merge rule (both sides of every gossip exchange apply it, so the
+// table is a CRDT and converges regardless of delivery order):
+//
+//	higher Epoch wins; at equal Epoch a tombstone beats an alive row;
+//	at equal everything the larger URL string wins (a deterministic
+//	tie-break so two nodes never disagree forever).
+//
+// A member re-announces itself with Epoch = seen+1 whenever gossip
+// shows it superseded — tombstoned or listed under a stale URL — which
+// is exactly how a node restarted after a drain, or rebooted on a new
+// address under the same ID, rejoins without anyone restarting.
+type Member struct {
+	Peer  Peer   `json:"peer"`
+	Epoch uint64 `json:"epoch"`
+	Left  bool   `json:"left,omitempty"`
+}
+
+// supersedes reports whether row a should replace row b in the table.
+func supersedes(a, b Member) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	if a.Left != b.Left {
+		return a.Left
+	}
+	return a.Peer.URL > b.Peer.URL
+}
+
+// membership is the versioned table. version counts local mutations
+// (merges that changed something, announces, leaves) and is exported as
+// a gauge — it is a per-node change counter, not a fleet-wide clock.
+type membership struct {
+	mu      sync.Mutex
+	self    string
+	rows    map[string]Member
+	version uint64
+}
+
+// newMembership seeds the table from the static boot roster, every row
+// alive at epoch 1. A join-mode node boots with a roster of just itself
+// and learns the rest through its first gossip exchange.
+func newMembership(self string, roster []Peer) *membership {
+	m := &membership{
+		self:    self,
+		rows:    make(map[string]Member, len(roster)),
+		version: 1,
+	}
+	for _, p := range roster {
+		m.rows[p.ID] = Member{Peer: p, Epoch: 1}
+	}
+	return m
+}
+
+// merge folds a gossiped table in, row by row, under the supersedes
+// rule. Returns whether anything changed.
+func (m *membership) merge(rows []Member) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for _, in := range rows {
+		if in.Peer.ID == "" || in.Epoch == 0 {
+			continue // malformed or zero-value row; never merge those
+		}
+		cur, ok := m.rows[in.Peer.ID]
+		if !ok || supersedes(in, cur) {
+			m.rows[in.Peer.ID] = in
+			changed = true
+		}
+	}
+	if changed {
+		m.version++
+	}
+	return changed
+}
+
+// announce (re)asserts self as alive at p, bumping the epoch past any
+// row that currently supersedes it. Returns whether the table changed —
+// false when the table already shows self alive at this URL.
+func (m *membership) announce(p Peer) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.rows[p.ID]
+	if ok && !cur.Left && cur.Peer.URL == p.URL {
+		return false
+	}
+	epoch := uint64(1)
+	if ok {
+		epoch = cur.Epoch + 1
+	}
+	m.rows[p.ID] = Member{Peer: p, Epoch: epoch}
+	m.version++
+	return true
+}
+
+// leave tombstones self — a permanent, gossiped departure. Idempotent.
+func (m *membership) leave() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.rows[m.self]
+	if !ok || cur.Left {
+		return false
+	}
+	m.rows[m.self] = Member{Peer: cur.Peer, Epoch: cur.Epoch + 1, Left: true}
+	m.version++
+	return true
+}
+
+// member returns the row for id.
+func (m *membership) member(id string) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row, ok := m.rows[id]
+	return row, ok
+}
+
+// remotes lists the alive members other than self, sorted by ID — the
+// peer set the failure detector probes and the ring routes over.
+func (m *membership) remotes() []Peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Peer, 0, len(m.rows))
+	for id, row := range m.rows {
+		if id == m.self || row.Left {
+			continue
+		}
+		out = append(out, row.Peer)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// alive counts non-tombstoned rows, self included.
+func (m *membership) alive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, row := range m.rows {
+		if !row.Left {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot returns every row (tombstones included — they are the whole
+// point of gossiping the table), sorted by ID.
+func (m *membership) snapshot() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.rows))
+	for _, row := range m.rows {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Peer.ID < out[b].Peer.ID })
+	return out
+}
+
+// currentVersion reports the local mutation counter.
+func (m *membership) currentVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import "testing"
+
+func TestMembershipMergeRules(t *testing.T) {
+	pA := Peer{ID: "a", URL: "http://a1"}
+	pB := Peer{ID: "b", URL: "http://b1"}
+	m := newMembership("a", []Peer{pA, pB})
+
+	// Higher epoch wins, in either direction.
+	if !m.merge([]Member{{Peer: Peer{ID: "b", URL: "http://b2"}, Epoch: 3}}) {
+		t.Fatalf("higher-epoch row did not merge")
+	}
+	if row, _ := m.member("b"); row.Peer.URL != "http://b2" || row.Epoch != 3 {
+		t.Fatalf("b = %+v, want epoch-3 row", row)
+	}
+	if m.merge([]Member{{Peer: pB, Epoch: 2}}) {
+		t.Fatalf("lower-epoch row merged")
+	}
+
+	// Equal epoch: a tombstone beats an alive row — a leave and a
+	// concurrent heartbeat about the same epoch resolve to departed.
+	if !m.merge([]Member{{Peer: Peer{ID: "b", URL: "http://b2"}, Epoch: 3, Left: true}}) {
+		t.Fatalf("tombstone at equal epoch did not merge")
+	}
+	if row, _ := m.member("b"); !row.Left {
+		t.Fatalf("b not tombstoned: %+v", row)
+	}
+	// ...and once departed, an equal-or-older alive row never
+	// resurrects it.
+	for _, epoch := range []uint64{1, 2, 3} {
+		if m.merge([]Member{{Peer: pB, Epoch: epoch}}) {
+			t.Fatalf("stale alive row at epoch %d resurrected b", epoch)
+		}
+	}
+	// A genuinely newer announcement (the rejoin protocol) does.
+	if !m.merge([]Member{{Peer: pB, Epoch: 4}}) {
+		t.Fatalf("rejoin row did not merge")
+	}
+	if row, _ := m.member("b"); row.Left {
+		t.Fatalf("b still tombstoned after epoch-4 rejoin")
+	}
+
+	// Zero-value and malformed rows never merge.
+	if m.merge([]Member{{}, {Peer: Peer{ID: "c"}}}) {
+		t.Fatalf("malformed rows merged")
+	}
+}
+
+func TestMembershipAnnounceAndLeave(t *testing.T) {
+	self := Peer{ID: "a", URL: "http://a1"}
+	m := newMembership("a", []Peer{self})
+
+	// Announce over an up-to-date row is a no-op.
+	if m.announce(self) {
+		t.Fatalf("redundant announce reported a change")
+	}
+	// leave tombstones with a bumped epoch, idempotently.
+	if !m.leave() {
+		t.Fatalf("leave reported no change")
+	}
+	if m.leave() {
+		t.Fatalf("second leave reported a change")
+	}
+	row, _ := m.member("a")
+	if !row.Left || row.Epoch != 2 {
+		t.Fatalf("after leave: %+v, want Left at epoch 2", row)
+	}
+	if m.alive() != 0 {
+		t.Fatalf("alive = %d after leave, want 0", m.alive())
+	}
+	// Re-announcing (restart after drain) supersedes the tombstone.
+	if !m.announce(self) {
+		t.Fatalf("announce over tombstone reported no change")
+	}
+	row, _ = m.member("a")
+	if row.Left || row.Epoch != 3 {
+		t.Fatalf("after rejoin: %+v, want alive at epoch 3", row)
+	}
+	// Moving to a new URL bumps again.
+	if !m.announce(Peer{ID: "a", URL: "http://a2"}) {
+		t.Fatalf("new-URL announce reported no change")
+	}
+	if row, _ = m.member("a"); row.Peer.URL != "http://a2" || row.Epoch != 4 {
+		t.Fatalf("after move: %+v, want http://a2 at epoch 4", row)
+	}
+}
+
+func TestMembershipRemotesExcludesSelfAndLeft(t *testing.T) {
+	m := newMembership("a", []Peer{
+		{ID: "a", URL: "http://a"}, {ID: "b", URL: "http://b"}, {ID: "c", URL: "http://c"},
+	})
+	m.merge([]Member{{Peer: Peer{ID: "c", URL: "http://c"}, Epoch: 2, Left: true}})
+	remotes := m.remotes()
+	if len(remotes) != 1 || remotes[0].ID != "b" {
+		t.Fatalf("remotes = %+v, want just b", remotes)
+	}
+	if got := len(m.snapshot()); got != 3 {
+		t.Fatalf("snapshot has %d rows, want 3 (tombstones included)", got)
+	}
+}

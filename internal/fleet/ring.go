@@ -49,6 +49,16 @@ func score(peerID, hash string) uint64 {
 	return h
 }
 
+// Owner returns the rendezvous owner of hash among peers — rank[0].
+// Exposed so tooling and tests can predict placement with the same
+// arithmetic the fleet routes by. ok is false for an empty peer set.
+func Owner(hash string, peers []Peer) (Peer, bool) {
+	if len(peers) == 0 {
+		return Peer{}, false
+	}
+	return rank(hash, peers)[0], true
+}
+
 // rank orders peers for a spec content hash by descending rendezvous
 // score: rank(...)[0] is the owner, and the rest is the failover order
 // a forwarder walks when the owner is unreachable. Ties (only possible

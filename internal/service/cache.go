@@ -79,3 +79,15 @@ func (c *resultCache) Len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// Keys returns the cached hashes, most recently used first — the
+// cache-only half of Manager.DoneHashes.
+func (c *resultCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}

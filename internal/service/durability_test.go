@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestOnResultHookFiresOncePerComputation pins the replication seam's
+// contract: OnResult fires for a computed result (stripped, post-cache)
+// but not for cache hits or InsertCached — the paths that would make a
+// replica fan back out.
+func TestOnResultHookFiresOncePerComputation(t *testing.T) {
+	var mu sync.Mutex
+	got := make(map[string]int)
+	m := stubManager(t, Options{
+		Workers:      1,
+		CacheEntries: 8,
+		OnResult: func(hash string, res sim.Result) {
+			if res.Timeline != nil || res.Mitigation != nil {
+				t.Errorf("OnResult saw an unstripped result for %s", hash)
+			}
+			mu.Lock()
+			got[hash]++
+			mu.Unlock()
+		},
+	}, func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+		return sim.Result{IPC: float64(spec.Seed)}, nil
+	})
+
+	spec := uniqueSpec(1)
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	// Identical resubmission: a cache hit, no second OnResult.
+	j2, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, j2)
+	if !v.CacheHit {
+		t.Fatalf("resubmission was not a cache hit")
+	}
+
+	// A received replica: cached, but no OnResult either.
+	m.InsertCached("replica-hash", sim.Result{IPC: 7})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[spec.Hash()] != 1 {
+		t.Fatalf("OnResult calls = %v, want exactly one for %s", got, spec.Hash())
+	}
+}
+
+// TestInsertCachedStripsAndServes verifies a pushed replica is stripped
+// like a local completion and answers CachedResult.
+func TestInsertCachedStripsAndServes(t *testing.T) {
+	m := stubManager(t, Options{Workers: 1, CacheEntries: 8},
+		func(_ context.Context, _ Spec, _ func(int64, int64)) (sim.Result, error) {
+			return sim.Result{}, nil
+		})
+	m.InsertCached("h1", sim.Result{IPC: 3, Timeline: &obs.Timeline{}})
+	res, ok := m.CachedResult("h1")
+	if !ok {
+		t.Fatalf("replica not cached")
+	}
+	if res.Timeline != nil || res.Mitigation != nil {
+		t.Fatalf("replica cached unstripped")
+	}
+	if res.IPC != 3 {
+		t.Fatalf("IPC = %v, want 3", res.IPC)
+	}
+}
+
+// TestDoneHashesAndResultByHash covers the repair loop's data source:
+// done jobs and cache-only entries, deduplicated, each resolvable.
+func TestDoneHashesAndResultByHash(t *testing.T) {
+	m := stubManager(t, Options{Workers: 1, CacheEntries: 8},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	s1, s2 := uniqueSpec(1), uniqueSpec(2)
+	for _, s := range []Spec{s1, s2} {
+		j, err := m.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	m.InsertCached("replica-only", sim.Result{IPC: 9})
+
+	hashes := m.DoneHashes()
+	want := map[string]bool{s1.Hash(): true, s2.Hash(): true, "replica-only": true}
+	if len(hashes) != len(want) {
+		t.Fatalf("DoneHashes = %v, want the 3 of %v", hashes, want)
+	}
+	for _, h := range hashes {
+		if !want[h] {
+			t.Fatalf("unexpected hash %s in %v", h, hashes)
+		}
+		if _, ok := m.ResultByHash(h); !ok {
+			t.Fatalf("ResultByHash(%s) missed", h)
+		}
+	}
+	if _, ok := m.ResultByHash("absent"); ok {
+		t.Fatalf("ResultByHash invented a result")
+	}
+}
+
+// TestResultByHashSurvivesCacheEviction: a done job's result must stay
+// reachable for repair even after LRU pressure evicts its cache entry.
+func TestResultByHashSurvivesCacheEviction(t *testing.T) {
+	m := stubManager(t, Options{Workers: 1, CacheEntries: 1},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	s1, s2 := uniqueSpec(1), uniqueSpec(2)
+	for _, s := range []Spec{s1, s2} {
+		j, err := m.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	if _, ok := m.CachedResult(s1.Hash()); ok {
+		t.Fatalf("s1 still cached; eviction did not happen")
+	}
+	res, ok := m.ResultByHash(s1.Hash())
+	if !ok {
+		t.Fatalf("evicted done job unreachable by hash")
+	}
+	if res.IPC != 1 {
+		t.Fatalf("IPC = %v, want 1", res.IPC)
+	}
+}

@@ -213,6 +213,15 @@ type Options struct {
 	// Chaos tests wrap an executor with injected faults here; it is also
 	// the seam for alternative backends.
 	Run RunFunc
+	// OnResult, when non-nil, observes every result this manager computes
+	// (or accepts as a work-stealing donation) the moment it enters the
+	// result cache, already Timeline- and Mitigation-stripped — exactly
+	// the bytes a peer's cache lookup would see. The fleet layer hooks
+	// result replication here. It is called from worker goroutines and
+	// must not block; it is NOT called for cache hits, journal replays, or
+	// results inserted via InsertCached (a replica must never re-replicate
+	// from the receiving side).
+	OnResult func(hash string, res sim.Result)
 	// Metrics receives the service metrics (nil = a private registry).
 	Metrics *Metrics
 }
@@ -761,6 +770,9 @@ func (m *Manager) runOne(j *Job) {
 		m.foldTimeline(res.Timeline)
 		res.Timeline = nil
 		m.cache.Put(j.hash, res)
+		if m.opts.OnResult != nil {
+			m.opts.OnResult(j.hash, res)
+		}
 		start := j.started
 		m.finish(j, StateDone, "", &res)
 		m.met.Inc("rrs_jobs_done_total", 1)
@@ -1018,9 +1030,73 @@ func (m *Manager) CompleteExternal(j *Job, res sim.Result) bool {
 	res.Mitigation = nil
 	res.Timeline = nil
 	m.cache.Put(j.hash, res)
+	if m.opts.OnResult != nil {
+		m.opts.OnResult(j.hash, res)
+	}
 	m.finish(j, StateDone, "", &res)
 	m.met.Inc("rrs_jobs_done_total", 1)
 	return true
+}
+
+// InsertCached stores an externally computed result in the result cache
+// with no job record — the receive path of fleet result replication. The
+// same stripping as local completion keeps every cached payload
+// byte-identical regardless of which node computed it. OnResult is
+// deliberately not invoked: a received replica must not fan back out.
+func (m *Manager) InsertCached(hash string, res sim.Result) {
+	res.Mitigation = nil
+	res.Timeline = nil
+	m.cache.Put(hash, res)
+}
+
+// DoneHashes returns every content hash this node durably holds a result
+// for: done jobs (journal-backed, in submission order) followed by
+// cache-only entries (received replicas, fan-out adoptions), deduplicated.
+// The fleet's anti-entropy repair loop walks this set to verify each
+// result still has its ring replica.
+func (m *Manager) DoneHashes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, j := range m.List() {
+		j.mu.Lock()
+		done := j.state == StateDone && j.result != nil
+		h := j.hash
+		j.mu.Unlock()
+		if done && !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	for _, h := range m.cache.Keys() {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ResultByHash returns a held result by content hash, consulting the
+// cache first and falling back to the job table — a done job's result
+// can outlive its cache entry under LRU pressure, and the repair loop
+// must still be able to re-replicate it.
+func (m *Manager) ResultByHash(hash string) (sim.Result, bool) {
+	if res, ok := m.cache.Get(hash); ok {
+		return res, true
+	}
+	for _, j := range m.List() {
+		j.mu.Lock()
+		match := j.hash == hash && j.state == StateDone && j.result != nil
+		var res sim.Result
+		if match {
+			res = *j.result
+		}
+		j.mu.Unlock()
+		if match {
+			return res, true
+		}
+	}
+	return sim.Result{}, false
 }
 
 // Shutdown stops intake, cancels the backlog, and waits for running
