@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos chaos-fleet chaos-replica loadgen-smoke fuzz serve experiments examples alloc-check profile shootout-smoke clean
+.PHONY: all build test test-short bench bench-figures bench-quick bench-guard bench-parallel paranoid vet lint race chaos chaos-fleet chaos-replica loadgen-smoke fuzz serve experiments examples alloc-check profile shootout-smoke sweep-smoke clean
 
 all: build lint test
 
@@ -126,6 +126,13 @@ alloc-check:
 shootout-smoke:
 	$(GO) run ./cmd/rrs-experiments -shootout -scale 64 -epochs 1 \
 		-workloads hmmer -paranoid
+
+# sweep-smoke drives the server-side sweep API end to end with the real
+# engine: a small sweep over HTTP, submitted twice — the second pass
+# must be answered entirely from the result cache
+# (rrs_sweep_children_cached_total proves it).
+sweep-smoke:
+	$(GO) test -run 'TestSweepSmoke' -count=1 -v ./internal/service/
 
 # profile captures CPU and heap pprof profiles of the quick benchmark
 # set. Inspect with `go tool pprof cpu.pprof` (web: add -http=:0).

@@ -9,9 +9,12 @@
 //	rrs-experiments -exp table4
 //	rrs-experiments -exp fig10 -server http://localhost:8080
 //
-// With -server, every simulation sweep point is submitted as a job to a
-// running rrs-serve; repeated sweeps (and the baseline runs shared
-// between figures) are then answered from the server's result cache.
+// With -server, each figure's whole grid is submitted as one server-side
+// sweep (POST /v1/sweeps) to a running rrs-serve: the server expands the
+// axes into child jobs deduplicated by content hash, and repeated sweeps
+// (and the baseline runs shared between figures) are answered from its
+// result cache. Points outside a sweep's axes fall back to individual
+// job submissions.
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig5 fig6
 // fig7 fig9 fig10 fig11 dos ablation probabilistic detection mixes rowclone
@@ -95,6 +98,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rrs-experiments: offloading sweeps to %s\n", *server)
 		s.Runner = func(spec service.Spec) (sim.Result, error) {
 			return client.Run(context.Background(), spec)
+		}
+		// Whole figures go up as one POST /v1/sweeps each; the server
+		// expands, dedups and spreads the children (fleet mode routes them
+		// by content hash). Runner stays wired for the few points outside
+		// a sweep's axes.
+		s.Sweeper = func(ss service.SweepSpec) (map[string]sim.Result, error) {
+			return client.RunSweep(context.Background(), ss)
 		}
 	}
 	if *workloads != "" {

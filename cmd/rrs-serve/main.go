@@ -17,6 +17,19 @@
 // simulation marks only that job failed (rrs_worker_panics_total); the
 // process keeps serving.
 //
+// A whole parameter sweep is one request: POST /v1/sweeps takes a base
+// spec plus axes (mitigations, blacklist sizes, Row Hammer thresholds,
+// scales, seeds, workloads) and the manager expands the cartesian
+// product into child jobs deduplicated by content hash. GET
+// /v1/sweeps/{id} reports aggregated progress and per-child states;
+// GET /v1/sweeps/{id}/results returns every child result keyed by
+// child hash once the sweep is terminal. The parent is journaled too,
+// so a kill -9 mid-sweep re-expands and resumes from the completed
+// children on restart, and resubmitting a finished sweep is answered
+// almost entirely from the result cache — the rrs_sweep_* metrics
+// count both. rrs-experiments -server submits each figure's grid this
+// way. See DESIGN.md §15.
+//
 // Fleet mode joins several rrs-serve processes into one logical
 // service. A fleet can be seeded with a static roster, every node
 // started with the same list and its own id:
@@ -56,6 +69,9 @@
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"workloads":["bzip2"],"mitigation":"rrs","scale":16,"epochs":2}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"base":{"workloads":["bzip2"],"scale":16,"epochs":2},"axes":{"mitigations":["none","rrs"],"seeds":[1,2,3]}}'
+//	curl -s localhost:8080/v1/sweeps/sweep-000001
+//	curl -s localhost:8080/v1/sweeps/sweep-000001/results
 //	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, intake

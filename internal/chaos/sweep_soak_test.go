@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestChaosSweepKillMidExpansionResumesExactlyOnce is the sweep
+// tentpole's soak: a server-side sweep (POST /v1/sweeps) is kill -9'd
+// after a known prefix of children completed, the journal is replayed
+// into a fresh process, and the resumed sweep must (a) run only the
+// unfinished children, (b) deliver every child exactly once, and (c)
+// aggregate bit-identically to an uninterrupted run of the same sweep.
+func TestChaosSweepKillMidExpansionResumesExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	const (
+		sweepSize   = 16
+		doneAtCrash = 5
+	)
+	ss := service.SweepSpec{Base: chaosSpec(0)}
+	for seed := uint64(1); seed <= sweepSize; seed++ {
+		ss.Axes.Seeds = append(ss.Axes.Seeds, seed)
+	}
+
+	// The executor is the deterministic crash gate: seeds past the
+	// allowance wedge until their context dies, so exactly doneAtCrash
+	// children complete in the first process. completions counts each
+	// seed's successful runs ACROSS both processes — the exactly-once
+	// ledger.
+	var allowed atomic.Uint64
+	allowed.Store(doneAtCrash)
+	var completions sync.Map
+	exec := func(ctx context.Context, spec service.Spec, progress func(int64, int64)) (sim.Result, error) {
+		if spec.Seed > allowed.Load() {
+			<-ctx.Done()
+			return sim.Result{}, ctx.Err()
+		}
+		if progress != nil {
+			progress(1, 1)
+		}
+		n, _ := completions.LoadOrStore(spec.Seed, new(atomic.Int64))
+		n.(*atomic.Int64).Add(1)
+		return sim.Result{IPC: float64(spec.Seed), Epochs: 1, Accesses: 7}, nil
+	}
+	newManager := func(j *service.Journal) *service.Manager {
+		return service.NewManager(service.Options{
+			Workers: 2, QueueDepth: 8, // queue smaller than the sweep: the feeder must ride backpressure
+			Journal: j,
+			Run:     exec,
+		})
+	}
+
+	j1, rep0, err := service.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep0.Sweeps) != 0 {
+		t.Fatalf("fresh journal replayed %d sweeps", len(rep0.Sweeps))
+	}
+	m1 := newManager(j1)
+	srv1 := httptest.NewServer(service.Handler(m1))
+
+	rt := &retarget{}
+	rt.set(t, srv1.URL)
+	faults := NewTransport(Faults{
+		Seed:      29,
+		DropRate:  0.05,
+		FailRate:  0.05,
+		DelayRate: 0.10,
+		MaxDelay:  2 * time.Millisecond,
+	}, rt)
+	client := service.NewClient("http://rrs-sweep-soak.invalid",
+		service.WithHTTPClient(&http.Client{Transport: faults}),
+		service.WithRetryPolicy(resilience.Policy{
+			MaxAttempts: -1, // ride out the restart window
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		}))
+	client.PollInterval = 5 * time.Millisecond
+
+	type sweepOut struct {
+		results map[string]sim.Result
+		err     error
+	}
+	outc := make(chan sweepOut, 1)
+	go func() {
+		res, err := client.RunSweep(ctx, ss)
+		outc <- sweepOut{res, err}
+	}()
+
+	// Find the accepted sweep, then wait for the gate to hold it at
+	// exactly doneAtCrash completed children.
+	var sweepID string
+	for sweepID == "" {
+		if ctx.Err() != nil {
+			t.Fatal("sweep never reached the server")
+		}
+		for _, sw := range m1.ListSweeps() {
+			sweepID = sw.ID()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		if ctx.Err() != nil {
+			t.Fatalf("sweep never completed %d children", doneAtCrash)
+		}
+		v, err := client.Sweep(ctx, sweepID)
+		if err == nil && v.Done >= doneAtCrash {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// kill -9: journal stops cold, then the process vanishes. The forced
+	// shutdown cancels the wedged children, but those terminal states die
+	// with the process — only the journal survives.
+	j1.Close()
+	srv1.CloseClientConnections()
+	srv1.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	m1.Shutdown(sctx)
+	scancel()
+
+	allowed.Store(sweepSize) // the "fixed" environment after the restart
+	j2, rep, err := service.OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopening journal: %v", err)
+	}
+	defer j2.Close()
+	if rep.PendingSweeps != 1 {
+		t.Fatalf("replay found %d pending sweeps, want 1", rep.PendingSweeps)
+	}
+	if rep.Results < doneAtCrash {
+		t.Fatalf("replay carried %d durable results, want >= %d", rep.Results, doneAtCrash)
+	}
+	m2 := newManager(j2)
+	if err := m2.Restore(rep); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	srv2 := httptest.NewServer(service.Handler(m2))
+	defer srv2.Close()
+	defer shutdownManager(t, m2)
+	rt.set(t, srv2.URL)
+
+	var out sweepOut
+	select {
+	case out = <-outc:
+	case <-ctx.Done():
+		reqs, dropped, failed, _ := faults.Stats()
+		t.Fatalf("sweep did not finish after the restart (requests=%d dropped=%d failed=%d)",
+			reqs, dropped, failed)
+	}
+	if out.err != nil {
+		t.Fatalf("RunSweep: %v", out.err)
+	}
+	if len(out.results) != sweepSize {
+		t.Fatalf("delivered %d child results, want %d", len(out.results), sweepSize)
+	}
+	specs, err := ss.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		res, ok := out.results[sp.Hash()]
+		if !ok || res.IPC != float64(sp.Seed) {
+			t.Errorf("seed %d: result (%+v, %v), want IPC %d", sp.Seed, res, ok, sp.Seed)
+		}
+	}
+
+	// Exactly-once: every child ran in exactly one process, exactly one
+	// time — the pre-crash prefix was answered from the replayed cache.
+	ran := 0
+	completions.Range(func(k, v any) bool {
+		ran++
+		if n := v.(*atomic.Int64).Load(); n != 1 {
+			t.Errorf("seed %v ran %d times, want exactly once", k, n)
+		}
+		return true
+	})
+	if ran != sweepSize {
+		t.Errorf("%d distinct children ran, want %d", ran, sweepSize)
+	}
+	v, err := client.Sweep(ctx, sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.StateDone || v.Done != sweepSize {
+		t.Fatalf("resumed sweep = %+v", v)
+	}
+	// At least the pre-crash prefix comes back as cache hits (a re-enqueued
+	// pending child can finish before the feeder re-reaches it and add one).
+	if v.CacheHits < doneAtCrash {
+		t.Errorf("resumed sweep cache hits = %d, want >= the %d pre-crash children",
+			v.CacheHits, doneAtCrash)
+	}
+	if n := m2.Metrics().JSON().Counters["rrs_sweeps_restored_total"]; n != 1 {
+		t.Errorf("rrs_sweeps_restored_total = %d, want 1", n)
+	}
+
+	// Bit-identical aggregation: an uninterrupted run of the same sweep
+	// on a fresh manager rolls up to exactly the same stats.
+	ref := service.NewManager(service.Options{Workers: 2, Run: exec})
+	defer shutdownManager(t, ref)
+	refSw, _, err := ref.SubmitSweep(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-refSw.Done():
+	case <-ctx.Done():
+		t.Fatal("reference sweep wedged")
+	}
+	refResults := ref.SweepResults(refSw)
+	for h, res := range out.results {
+		refRes, ok := refResults[h]
+		if !ok || !reflect.DeepEqual(res, refRes) {
+			t.Errorf("child %s diverges from the clean run:\nresumed %+v\nclean   %+v",
+				h[:12], res, refRes)
+		}
+	}
+	if v.Stats == nil {
+		t.Fatal("resumed sweep reported no aggregate stats")
+	}
+	refSrv := httptest.NewServer(service.Handler(ref))
+	defer refSrv.Close()
+	refV, err := service.NewClient(refSrv.URL).Sweep(ctx, refSw.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.Stats, refV.Stats) {
+		t.Errorf("aggregate stats diverge from the clean run:\nresumed %+v\nclean   %+v",
+			v.Stats, refV.Stats)
+	}
+}

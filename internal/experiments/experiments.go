@@ -42,6 +42,14 @@ type Scale struct {
 	// cache. Experiments that build bespoke mitigation parameters (the
 	// probabilistic and RowClone ablations) always run locally.
 	Runner func(service.Spec) (sim.Result, error)
+	// Sweeper, when non-nil, executes a whole axes product server-side in
+	// one call (POST /v1/sweeps via service.Client.RunSweep, or
+	// Manager.SubmitSweep in-process) and returns the child results keyed
+	// by child spec content hash. The figures and the shootout then look
+	// their points up instead of submitting one job per point; any point
+	// outside the sweep falls back to Runner/in-process. nil keeps the
+	// per-point path.
+	Sweeper func(service.SweepSpec) (map[string]sim.Result, error)
 }
 
 // DefaultScale returns the standard experiment scale: 1/16 epochs
@@ -125,14 +133,21 @@ func (s Scale) runSpec(spec service.Spec) (sim.Result, error) {
 // metric), routing both runs through runSpec so they hit the Runner's
 // cache.
 func (s Scale) normalizedSpec(spec service.Spec) (float64, sim.Result, sim.Result, error) {
+	return s.normalizedVia(s.runSpec, spec)
+}
+
+// normalizedVia is normalizedSpec over an arbitrary point executor —
+// how the sweep-backed figures (see sweepRunner) reuse the exact
+// baseline/mitigated pairing of the per-point path.
+func (s Scale) normalizedVia(run func(service.Spec) (sim.Result, error), spec service.Spec) (float64, sim.Result, sim.Result, error) {
 	base := spec
 	base.Mitigation = service.MitNone
 	base.Blacklist = 0
-	baseRes, err := s.runSpec(base)
+	baseRes, err := run(base)
 	if err != nil {
 		return 0, sim.Result{}, sim.Result{}, err
 	}
-	mitRes, err := s.runSpec(spec)
+	mitRes, err := run(spec)
 	if err != nil {
 		return 0, sim.Result{}, sim.Result{}, err
 	}

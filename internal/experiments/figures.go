@@ -24,8 +24,13 @@ type Figure5Row struct {
 // 78 workloads, with hmmer and bzip2 near 1000).
 func Figure5(s Scale) ([]Figure5Row, *stats.Table, error) {
 	ws := s.workloads()
+	run, err := s.sweepRunner(s.spec(service.MitRRS, 0),
+		service.SweepAxes{Workloads: workloadNames(ws)})
+	if err != nil {
+		return nil, nil, err
+	}
 	results, err := runAll(ws, func(w trace.Workload) (sim.Result, error) {
-		return s.runSpec(s.spec(service.MitRRS, 0, w))
+		return run(s.spec(service.MitRRS, 0, w))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -56,8 +61,18 @@ func Figure6(s Scale) ([]Figure6Row, *stats.Table, error) {
 
 func normalizedPerf(s Scale, mit string, blacklist uint32, label string) ([]Figure6Row, *stats.Table, error) {
 	ws := s.workloads()
+	// One sweep covers the defense and its unprotected baseline; the
+	// baseline children's blacklist normalizes away, so they dedup into
+	// one job per workload regardless of the defense's tracker size.
+	run, err := s.sweepRunner(s.spec(mit, blacklist), service.SweepAxes{
+		Mitigations: []string{service.MitNone, mit},
+		Workloads:   workloadNames(ws),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	norms, err := runAll(ws, func(w trace.Workload) (float64, error) {
-		norm, _, _, err := s.normalizedSpec(s.spec(mit, blacklist, w))
+		norm, _, _, err := s.normalizedVia(run, s.spec(mit, blacklist, w))
 		return norm, err
 	})
 	if err != nil {
@@ -173,15 +188,30 @@ func Figure10(s Scale) ([]Figure10Point, *stats.Table, error) {
 	var pts []Figure10Point
 	t := stats.NewTable("T_RH multiplier", "T_RH (scaled)", "Geomean normalized perf")
 	base := s.Config().RowHammerThreshold
-	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
-		trh := int(float64(base) * mult)
-		if trh < 6 {
-			trh = 6
+	mults := []float64{0.25, 0.5, 1, 2, 4}
+	trhs := make([]int, len(mults))
+	for i, mult := range mults {
+		trhs[i] = int(float64(base) * mult)
+		if trhs[i] < 6 {
+			trhs[i] = 6
 		}
+	}
+	// The whole threshold grid — every multiplier, mitigated and
+	// baseline — is one sweep.
+	run, err := s.sweepRunner(s.spec(service.MitRRS, 0), service.SweepAxes{
+		Mitigations:         []string{service.MitNone, service.MitRRS},
+		RowHammerThresholds: trhs,
+		Workloads:           workloadNames(s.workloads()),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, mult := range mults {
+		trh := trhs[i]
 		norms, err := runAll(s.workloads(), func(w trace.Workload) (float64, error) {
 			spec := s.spec(service.MitRRS, 0, w)
 			spec.RowHammerThreshold = trh
-			norm, _, _, err := s.normalizedSpec(spec)
+			norm, _, _, err := s.normalizedVia(run, spec)
 			return norm, err
 		})
 		if err != nil {
@@ -213,10 +243,23 @@ func Figure11(s Scale) ([]Figure11Series, *stats.Table, error) {
 		{"BH-512", service.MitBlockHammer, 512},
 		{"BH-1K", service.MitBlockHammer, 1024},
 	}
+	// One sweep covers all three defenses plus the shared baseline: the
+	// blacklist axis only matters for the BlockHammer children (RRS and
+	// the baseline normalize it away and collapse), so the product
+	// {none,rrs,blockhammer} × {512,1024} expands to exactly the distinct
+	// jobs the figure needs.
+	run, err := s.sweepRunner(s.spec(service.MitRRS, 0), service.SweepAxes{
+		Mitigations: []string{service.MitNone, service.MitRRS, service.MitBlockHammer},
+		Blacklists:  []uint32{512, 1024},
+		Workloads:   workloadNames(s.workloads()),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var series []Figure11Series
 	for _, d := range defenses {
 		norms, err := runAll(s.workloads(), func(w trace.Workload) (float64, error) {
-			norm, _, _, err := s.normalizedSpec(s.spec(d.mit, d.blacklist, w))
+			norm, _, _, err := s.normalizedVia(run, s.spec(d.mit, d.blacklist, w))
 			return norm, err
 		})
 		if err != nil {

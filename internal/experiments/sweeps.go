@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The sweep-backed execution path. Each figure (and the shootout's perf
+// leg) describes its whole grid as one service.SweepSpec — a base job
+// plus axes — and pre-executes it through Scale.Sweeper when one is
+// configured. The figure's own loops are untouched: they run in the
+// same order over the same specs and merely look each point up by
+// content hash in the sweep's result map. Since a sweep child and a
+// directly submitted job normalize and hash identically, the two paths
+// produce byte-identical tables — the sweep just replaces N
+// submit+poll round trips with one.
+
+// workloadNames projects a workload list onto the sweep's Workloads
+// axis.
+func workloadNames(ws []trace.Workload) []string {
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// sweepRunner pre-executes one sweep covering axes over base and
+// returns a drop-in replacement for runSpec: points the sweep covered
+// are answered from its result map by content hash, anything else (or
+// a server-side miss) falls back to the per-point path. With no
+// Sweeper configured it returns s.runSpec unchanged.
+func (s Scale) sweepRunner(base service.Spec, axes service.SweepAxes) (func(service.Spec) (sim.Result, error), error) {
+	if s.Sweeper == nil {
+		return s.runSpec, nil
+	}
+	got, err := s.Sweeper(service.SweepSpec{Base: base, Axes: axes})
+	if err != nil {
+		return nil, err
+	}
+	return func(spec service.Spec) (sim.Result, error) {
+		if res, ok := got[spec.Hash()]; ok {
+			return res, nil
+		}
+		return s.runSpec(spec)
+	}, nil
+}

@@ -15,6 +15,8 @@ import (
 //
 //	POST /v1/jobs                 fleet submit: ring-routed, forwarded to the owner
 //	GET/DELETE /v1/jobs/{id}...   proxied to the job's home node (by id prefix)
+//	POST /v1/sweeps               accepted locally; children ring-route by their own hash
+//	GET  /v1/results/{hash}       result by content hash, fleet-wide (local store, then peers)
 //	GET  /v1/fleet/cache/{hash}   local result-cache lookup (the fan-out target)
 //	POST /v1/fleet/replica        accept a result copy into the local cache
 //	POST /v1/fleet/gossip         membership-table exchange (probe piggyback)
@@ -42,6 +44,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", n.handleRouted)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", n.handleRouted)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleRouted)
+
+	mux.HandleFunc("GET /v1/results/{hash}", n.handleResultByHash)
 
 	mux.HandleFunc("GET /v1/fleet/cache/{hash}", n.handleCache)
 	mux.HandleFunc("POST /v1/fleet/replica", n.handleReplica)

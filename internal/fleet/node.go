@@ -232,6 +232,9 @@ func New(opts Options) (*Node, error) {
 		inner = service.RunSpec
 	}
 	so.Run = n.fanoutRun(inner)
+	// Sweep children route to their ring owner by their own content hash
+	// (falling back to so.Run locally), so one sweep spreads fleet-wide.
+	so.RunChild = n.childRun(so.Run)
 	// Every locally computed result (including accepted steal donations)
 	// feeds the replication queue the moment it enters the cache.
 	userOnResult := so.OnResult
@@ -254,29 +257,32 @@ func New(opts Options) (*Node, error) {
 
 func (n *Node) registerMetrics() {
 	for name, help := range map[string]string{
-		"rrs_fleet_forwards_total":            "Submissions forwarded to their ring owner.",
-		"rrs_fleet_forward_failovers_total":   "Forward attempts moved to the next-ranked peer after the preferred owner failed.",
-		"rrs_fleet_local_fallbacks_total":     "Submissions run locally because every remote candidate failed.",
-		"rrs_fleet_proxied_total":             "Job status/result/cancel requests proxied to the job's home node.",
-		"rrs_fleet_proxy_misses_total":        "Proxied requests whose home node was unreachable (answered 404 so the client resubmits).",
-		"rrs_fleet_cache_fanout_checks_total": "Runs that asked the fleet's caches before simulating.",
-		"rrs_fleet_cache_fanout_hits_total":   "Runs answered by a peer's result cache instead of simulating.",
-		"rrs_fleet_steals_total":              "Jobs this node stole from a peer and completed.",
-		"rrs_fleet_steal_failures_total":      "Stolen runs that failed locally (the victim's lease reclaims the job).",
-		"rrs_fleet_lent_total":                "Queued jobs lent to a thief peer.",
-		"rrs_fleet_donations_accepted_total":  "Stolen results donated back and accepted.",
-		"rrs_fleet_donations_stale_total":     "Donations dropped because the job already had a terminal state or was re-running.",
-		"rrs_fleet_reclaims_total":            "Stolen-job leases that expired and requeued locally.",
-		"rrs_fleet_peer_flaps_total":          "Peer routability transitions (either direction) after hysteresis.",
-		"rrs_fleet_replicated_total":          "Results pushed to their ring successor (completion-time replication plus repair).",
-		"rrs_fleet_replicas_received_total":   "Replica payloads accepted into the local result cache.",
-		"rrs_fleet_replica_failures_total":    "Replica pushes that failed after retries (the repair loop retries later).",
-		"rrs_fleet_replica_drops_total":       "Results dropped from the full replication queue (repair re-establishes their copies).",
-		"rrs_fleet_repair_checks_total":       "Held results whose successor replica the anti-entropy loop verified.",
-		"rrs_fleet_repair_replicated_total":   "Missing replicas re-pushed by the anti-entropy loop.",
-		"rrs_fleet_membership_updates_total":  "Gossip exchanges that changed the local membership table.",
-		"rrs_fleet_joins_total":               "Successful -join handshakes performed by this node.",
-		"rrs_fleet_no_owner_total":            "Submissions refused 503 because the live set was empty.",
+		"rrs_fleet_forwards_total":              "Submissions forwarded to their ring owner.",
+		"rrs_fleet_forward_failovers_total":     "Forward attempts moved to the next-ranked peer after the preferred owner failed.",
+		"rrs_fleet_local_fallbacks_total":       "Submissions run locally because every remote candidate failed.",
+		"rrs_fleet_proxied_total":               "Job status/result/cancel requests proxied to the job's home node.",
+		"rrs_fleet_proxy_misses_total":          "Proxied requests whose home node was unreachable (answered 404 so the client resubmits).",
+		"rrs_fleet_cache_fanout_checks_total":   "Runs that asked the fleet's caches before simulating.",
+		"rrs_fleet_cache_fanout_hits_total":     "Runs answered by a peer's result cache instead of simulating.",
+		"rrs_fleet_steals_total":                "Jobs this node stole from a peer and completed.",
+		"rrs_fleet_steal_failures_total":        "Stolen runs that failed locally (the victim's lease reclaims the job).",
+		"rrs_fleet_lent_total":                  "Queued jobs lent to a thief peer.",
+		"rrs_fleet_donations_accepted_total":    "Stolen results donated back and accepted.",
+		"rrs_fleet_donations_stale_total":       "Donations dropped because the job already had a terminal state or was re-running.",
+		"rrs_fleet_reclaims_total":              "Stolen-job leases that expired and requeued locally.",
+		"rrs_fleet_peer_flaps_total":            "Peer routability transitions (either direction) after hysteresis.",
+		"rrs_fleet_replicated_total":            "Results pushed to their ring successor (completion-time replication plus repair).",
+		"rrs_fleet_replicas_received_total":     "Replica payloads accepted into the local result cache.",
+		"rrs_fleet_replica_failures_total":      "Replica pushes that failed after retries (the repair loop retries later).",
+		"rrs_fleet_replica_drops_total":         "Results dropped from the full replication queue (repair re-establishes their copies).",
+		"rrs_fleet_repair_checks_total":         "Held results whose successor replica the anti-entropy loop verified.",
+		"rrs_fleet_repair_replicated_total":     "Missing replicas re-pushed by the anti-entropy loop.",
+		"rrs_fleet_membership_updates_total":    "Gossip exchanges that changed the local membership table.",
+		"rrs_fleet_joins_total":                 "Successful -join handshakes performed by this node.",
+		"rrs_fleet_no_owner_total":              "Submissions refused 503 because the live set was empty.",
+		"rrs_fleet_sweep_children_routed_total": "Sweep children executed on their remote ring owner.",
+		"rrs_fleet_sweep_children_local_total":  "Sweep children executed locally (self-owned or every remote candidate failed).",
+		"rrs_fleet_sweep_child_failovers_total": "Sweep-child placements moved to the next-ranked peer after the owner failed.",
 	} {
 		n.met.Counter(name, help)
 	}
@@ -530,6 +536,11 @@ func (n *Node) clientFor(p Peer) *service.Client {
 	c := service.NewClient(p.URL+internalPrefix,
 		service.WithHTTPClient(n.hc),
 		service.WithRetryPolicy(n.opts.Retry))
+	// Fleet-internal polling runs node-to-node on the same network as
+	// the ring probes; the public client's 250 ms default (and the
+	// server's 1 s Retry-After hint, which an unset interval honors)
+	// would dominate the latency of every routed sweep child.
+	c.PollInterval = 20 * time.Millisecond
 	n.clients[p.ID] = clientEntry{url: p.URL, c: c}
 	return c
 }

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestSweepChildrenSpreadAcrossFleetExactlyOnce submits one sweep to a
+// single node and checks the tentpole's fleet story: the parent lives on
+// the accepting node, but each expanded child routes to its ring owner
+// by its own content hash, runs exactly once fleet-wide, and a
+// resubmitted sweep is answered from cache without any node re-running
+// anything.
+func TestSweepChildrenSpreadAcrossFleetExactlyOnce(t *testing.T) {
+	nodes := startFleet(t, 3, nil)
+	client := fleetClient(nodes[0])
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ss := service.SweepSpec{Base: uniqueSpec(0)}
+	const children = 12
+	for seed := uint64(1); seed <= children; seed++ {
+		ss.Axes.Seeds = append(ss.Axes.Seeds, seed)
+	}
+	got, err := client.RunSweep(ctx, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ss.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("sweep returned %d results, want %d", len(got), len(specs))
+	}
+	for _, sp := range specs {
+		if res, ok := got[sp.Hash()]; !ok || res.IPC != float64(sp.Seed) {
+			t.Errorf("child seed %d = (%+v, %v)", sp.Seed, res, ok)
+		}
+	}
+
+	// Exactly once fleet-wide, and actually spread: with 12 hashes HRW-
+	// ranked over 3 nodes, more than one node must own children.
+	var total int64
+	busy := 0
+	for _, n := range nodes {
+		runs := n.runs.Load()
+		total += runs
+		if runs > 0 {
+			busy++
+		}
+	}
+	if total != children {
+		t.Errorf("fleet ran %d child jobs, want exactly %d", total, children)
+	}
+	if busy < 2 {
+		t.Errorf("only %d node(s) ran children; ring routing did not spread the sweep", busy)
+	}
+	counters := nodes[0].node.Manager().Metrics().JSON().Counters
+	routed := counters["rrs_fleet_sweep_children_routed_total"]
+	local := counters["rrs_fleet_sweep_children_local_total"]
+	if routed+local != children {
+		t.Errorf("routed %d + local %d != %d children", routed, local, children)
+	}
+	if routed == 0 {
+		t.Error("no children were routed to peer owners")
+	}
+
+	// Every child's result is addressable by hash from any node (peer
+	// cache fan-out), even one that never ran it.
+	other := fleetClient(nodes[2])
+	if res, ok, err := other.ResultByHash(ctx, specs[0].Hash()); err != nil || !ok ||
+		res.IPC != float64(specs[0].Seed) {
+		t.Errorf("fleet-wide hash lookup = (%+v, %v, %v)", res, ok, err)
+	}
+
+	// Resubmission: the accepting node holds every child result (routed
+	// children completed their local job records), so the second pass is
+	// pure cache — no node runs anything new.
+	got2, err := client.RunSweep(ctx, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(specs) {
+		t.Fatalf("resubmitted sweep returned %d results, want %d", len(got2), len(specs))
+	}
+	var total2 int64
+	for _, n := range nodes {
+		total2 += n.runs.Load()
+	}
+	if total2 != total {
+		t.Errorf("resubmission ran %d extra child jobs, want 0", total2-total)
+	}
+	counters = nodes[0].node.Manager().Metrics().JSON().Counters
+	if cached := counters["rrs_sweep_children_cached_total"]; cached != children {
+		t.Errorf("rrs_sweep_children_cached_total = %d, want %d", cached, children)
+	}
+}

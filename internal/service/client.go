@@ -225,15 +225,49 @@ func (c *Client) Result(ctx context.Context, id string) (sim.Result, error) {
 	}
 }
 
+// ResultByHash fetches a held result by spec content hash
+// (GET /v1/results/{hash}). ok=false when no node holds it; the error
+// is non-nil only for failures other than a plain 404.
+func (c *Client) ResultByHash(ctx context.Context, hash string) (res sim.Result, ok bool, err error) {
+	var env ResultEnvelope
+	err = resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, raw, _, err := c.roundTrip(ctx, http.MethodGet, "/v1/results/"+hash, nil)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(raw, &env)
+	})
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		return sim.Result{}, false, nil
+	}
+	if err != nil {
+		return sim.Result{}, false, err
+	}
+	return env.Result, true, nil
+}
+
 // Run submits spec and waits for its result — the drop-in remote
 // equivalent of sim.Run for named-mitigation jobs. If the job record
 // vanishes mid-poll (a server restart whose journal did not cover it, or
-// a concurrent DELETE), Run re-submits the spec: results are
-// content-addressed, so the replacement job is the same computation and
-// usually a cache hit.
+// a concurrent DELETE), Run first checks the result store by content
+// hash — on a fleet the computation may have finished and be held by a
+// surviving replica even though the owner's job record died with it —
+// and only re-submits when no node holds the result.
 func (c *Client) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 	var lastErr error
+	hash := spec.Hash()
 	for attempt := 0; attempt <= maxResubmits; attempt++ {
+		if attempt > 0 {
+			// Recovering from a lost job record: the work may already be
+			// done fleet-wide. A hash lookup is read-only and cannot
+			// re-queue finished work the way a blind re-POST can.
+			if res, ok, err := c.ResultByHash(ctx, hash); err == nil && ok {
+				return res, nil
+			} else if ctx.Err() != nil {
+				return sim.Result{}, ctx.Err()
+			}
+		}
 		v, err := c.Submit(ctx, spec)
 		if err != nil {
 			return sim.Result{}, err
@@ -242,12 +276,35 @@ func (c *Client) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
 			lastErr = err
-			continue // the job is gone; resubmit the spec
+			continue // the job is gone; check the result store, then resubmit
 		}
 		return res, err
 	}
 	return sim.Result{}, fmt.Errorf("service client: job lost %d times: %w",
 		maxResubmits+1, lastErr)
+}
+
+// parseRetryAfter interprets a Retry-After header value. RFC 9110
+// allows two forms — delta-seconds ("3") and an HTTP-date ("Tue, 03 Jun
+// 2025 17:00:00 GMT") — and proxies rewrite one into the other, so the
+// client must honor both; a date in the past (or skewed clocks) yields
+// zero rather than a negative wait.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // roundTrip performs one HTTP exchange, returning the status, body and
@@ -276,12 +333,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		return 0, nil, 0, resilience.MarkTransient(
 			fmt.Errorf("service client: reading response: %w", err))
 	}
-	var after time.Duration
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
-			after = time.Duration(secs) * time.Second
-		}
-	}
+	after := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return resp.StatusCode, raw, after, nil
 	}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/sim"
+)
+
+// SubmitSweep POSTs a sweep spec and returns the accepted (or
+// coalesced-onto) sweep's view. Safe to retry: the server coalesces
+// sweep submissions by content hash, so a retried POST after a dropped
+// response lands on the same running sweep.
+func (c *Client) SubmitSweep(ctx context.Context, ss SweepSpec) (SweepView, error) {
+	body, err := json.Marshal(ss)
+	if err != nil {
+		return SweepView{}, err
+	}
+	var v SweepView
+	err = resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, raw, _, err := c.roundTrip(ctx, http.MethodPost, sweepPrefix, body)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(raw, &v)
+	})
+	if err != nil {
+		return SweepView{}, err
+	}
+	return v, nil
+}
+
+// Sweep fetches one sweep's aggregated progress, including the
+// per-child lines.
+func (c *Client) Sweep(ctx context.Context, id string) (SweepView, error) {
+	var v SweepView
+	err := resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, raw, _, err := c.roundTrip(ctx, http.MethodGet, sweepPrefix+"/"+id, nil)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(raw, &v)
+	})
+	if err != nil {
+		return SweepView{}, err
+	}
+	return v, nil
+}
+
+// CancelSweep DELETEs a sweep (cancelling it if still active).
+func (c *Client) CancelSweep(ctx context.Context, id string) error {
+	return resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+		_, _, _, err := c.roundTrip(ctx, http.MethodDelete, sweepPrefix+"/"+id, nil)
+		return err
+	})
+}
+
+// SweepResults polls GET /v1/sweeps/{id}/results until the sweep
+// reaches a terminal state, with the same jittered, hint-honoring
+// backoff as Result. The returned envelope carries every child result
+// keyed by child content hash.
+func (c *Client) SweepResults(ctx context.Context, id string) (SweepResultsEnvelope, error) {
+	base := c.PollInterval
+	useHint := base <= 0
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	wait := base
+	for {
+		var env SweepResultsEnvelope
+		var hint time.Duration
+		pending := false
+		err := resilience.Do(ctx, c.Retry, func(ctx context.Context) error {
+			status, raw, after, err := c.roundTrip(ctx, http.MethodGet,
+				sweepPrefix+"/"+id+"/results", nil)
+			if err != nil {
+				return err
+			}
+			if status == http.StatusAccepted {
+				pending, hint = true, after
+				return nil
+			}
+			pending = false
+			if uerr := json.Unmarshal(raw, &env); uerr != nil {
+				return fmt.Errorf("service client: decoding sweep results: %w", uerr)
+			}
+			return nil
+		})
+		if err != nil {
+			return SweepResultsEnvelope{}, err
+		}
+		if !pending {
+			return env, nil
+		}
+		d := wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		if useHint && hint > d {
+			d = hint
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return SweepResultsEnvelope{}, ctx.Err()
+		case <-t.C:
+		}
+		if wait < maxPollBackoff*base {
+			wait = wait * 3 / 2
+		}
+	}
+}
+
+// RunSweep submits a sweep and waits for every child: the remote
+// equivalent of a whole experiment loop in one call. The result map is
+// keyed by child spec content hash — look a point up with
+// Spec.Hash() of the spec you would have run locally. A sweep record
+// lost mid-poll (a restart whose journal missed it) is resubmitted,
+// like Run does for jobs; the children are content-addressed, so the
+// replacement sweep is served from cache.
+func (c *Client) RunSweep(ctx context.Context, ss SweepSpec) (map[string]sim.Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= maxResubmits; attempt++ {
+		v, err := c.SubmitSweep(ctx, ss)
+		if err != nil {
+			return nil, err
+		}
+		env, err := c.SweepResults(ctx, v.ID)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			lastErr = err
+			continue // the sweep record is gone; resubmit the spec
+		}
+		if err != nil {
+			return nil, err
+		}
+		if env.State != StateDone {
+			return env.Results, fmt.Errorf("service client: sweep %s %s: %s",
+				env.ID, env.State, env.Error)
+		}
+		return env.Results, nil
+	}
+	return nil, fmt.Errorf("service client: sweep lost %d times: %w",
+		maxResubmits+1, lastErr)
+}

@@ -18,6 +18,12 @@ import (
 //	GET    /v1/jobs/{id}     job status           → 200 JobView
 //	GET    /v1/jobs/{id}/result                   → 200 ResultEnvelope | 202 while active
 //	DELETE /v1/jobs/{id}     cancel active / delete terminal → 200 JobView
+//	POST   /v1/sweeps        submit a SweepSpec   → 201 SweepView (200 when coalesced)
+//	GET    /v1/sweeps        list sweeps          → 200 {"sweeps":[SweepView...]}
+//	GET    /v1/sweeps/{id}   aggregated progress  → 200 SweepView (with children)
+//	GET    /v1/sweeps/{id}/results                → 200 SweepResultsEnvelope | 202 while active
+//	DELETE /v1/sweeps/{id}   cancel active / delete terminal → 200 SweepView
+//	GET    /v1/results/{hash} result by content hash → 200 ResultEnvelope | 404
 //	GET    /healthz          liveness             → 200 {"status":"ok",...}
 //	GET    /readyz           readiness            → 200, or 503 while draining/overloaded
 //	GET    /metrics          Prometheus text (or JSON with ?format=json)
@@ -66,6 +72,24 @@ func Handler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("DELETE "+apiPrefix+"/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleDelete(m, w, r)
+	})
+	mux.HandleFunc("POST "+sweepPrefix, func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitSweep(m, w, r)
+	})
+	mux.HandleFunc("GET "+sweepPrefix, func(w http.ResponseWriter, r *http.Request) {
+		handleListSweeps(m, w, r)
+	})
+	mux.HandleFunc("GET "+sweepPrefix+"/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleGetSweep(m, w, r)
+	})
+	mux.HandleFunc("GET "+sweepPrefix+"/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepResults(m, w, r)
+	})
+	mux.HandleFunc("DELETE "+sweepPrefix+"/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleDeleteSweep(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		handleResultByHash(m, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{

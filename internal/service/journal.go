@@ -40,6 +40,10 @@ type journalRecord struct {
 	Seq  uint64            `json:"seq,omitempty"`
 	Hash string            `json:"hash,omitempty"`
 	Spec *Spec             `json:"spec,omitempty"`
+	// SweepSpec rides on sweep-accepted records; sweeps journal only the
+	// compact spec — the expansion is deterministic, so replay re-derives
+	// the children instead of logging thousands of hashes.
+	SweepSpec *SweepSpec `json:"sweep_spec,omitempty"`
 	// Terminal-state fields.
 	State    State       `json:"state,omitempty"`
 	Error    string      `json:"error,omitempty"`
@@ -56,6 +60,11 @@ const (
 	recAccepted journalRecordType = "accepted"
 	recTerminal journalRecordType = "terminal"
 	recRemoved  journalRecordType = "removed"
+	// Sweep records mirror the job lifecycle for the parent of a
+	// server-side sweep. Child jobs journal as ordinary jobs.
+	recSweepAccepted journalRecordType = "sweep_accepted"
+	recSweepTerminal journalRecordType = "sweep_terminal"
+	recSweepRemoved  journalRecordType = "sweep_removed"
 )
 
 // acceptedRecord snapshots j for the accept line.
@@ -94,6 +103,37 @@ func terminalRecord(j *Job) journalRecord {
 	return rec
 }
 
+// sweepAcceptedRecord snapshots sw for the sweep-accept line.
+func sweepAcceptedRecord(sw *Sweep) journalRecord {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	spec := sw.spec
+	return journalRecord{
+		Type:      recSweepAccepted,
+		ID:        sw.id,
+		Seq:       sw.seq,
+		Hash:      sw.hash,
+		SweepSpec: &spec,
+		Submitted: sw.submitted.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// sweepTerminalRecord snapshots sw for the sweep-terminal line. No
+// results ride along: the children's own terminal records are the
+// durable result store, and SweepResults re-joins them by hash.
+func sweepTerminalRecord(sw *Sweep) journalRecord {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return journalRecord{
+		Type:     recSweepTerminal,
+		ID:       sw.id,
+		Hash:     sw.hash,
+		State:    sw.state,
+		Error:    sw.err,
+		Finished: sw.finished.UTC().Format(time.RFC3339Nano),
+	}
+}
+
 // Journal is the append handle. Appends are serialized and synced; after
 // Close they become silent no-ops (which is how tests simulate the
 // process dying while the manager's workers are still winding down).
@@ -120,12 +160,31 @@ type ReplayedJob struct {
 	Finished  time.Time
 }
 
+// ReplayedSweep is one sweep parent reconstructed from the log. State
+// is StateQueued for sweeps with no terminal record — Restore re-expands
+// and resumes those, answering already-finished children from the
+// replayed result cache.
+type ReplayedSweep struct {
+	ID        string
+	Seq       uint64
+	Hash      string
+	Spec      SweepSpec
+	State     State
+	Error     string
+	Submitted time.Time
+	Finished  time.Time
+}
+
 // Replayed summarizes a journal's reconstruction.
 type Replayed struct {
 	// Jobs holds every non-removed job in submission order.
 	Jobs []ReplayedJob
+	// Sweeps holds every non-removed sweep parent in submission order.
+	Sweeps []ReplayedSweep
 	// Pending counts jobs that will be re-enqueued (no terminal state).
 	Pending int
+	// PendingSweeps counts sweeps that will be resumed.
+	PendingSweeps int
 	// Results counts durable done-results (the cache snapshot).
 	Results int
 	// Dropped counts unparseable lines (at most the torn final line of a
@@ -137,11 +196,11 @@ type Replayed struct {
 // its records, compacts the file, and returns the append handle plus the
 // replay summary for Manager.Restore.
 func OpenJournal(path string) (*Journal, *Replayed, error) {
-	rep, jobs, err := replayJournal(path)
+	rep, err := replayJournal(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := compactJournal(path, jobs); err != nil {
+	if err := compactJournal(path, rep); err != nil {
 		return nil, nil, fmt.Errorf("service: compacting journal: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
@@ -184,20 +243,22 @@ func (j *Journal) append(rec journalRecord) error {
 	return j.f.Sync()
 }
 
-// replayJournal folds the log into per-job end states.
-func replayJournal(path string) (*Replayed, []ReplayedJob, error) {
+// replayJournal folds the log into per-job and per-sweep end states.
+func replayJournal(path string) (*Replayed, error) {
 	rep := &Replayed{}
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return rep, nil, nil
+		return rep, nil
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+		return nil, fmt.Errorf("service: opening journal: %w", err)
 	}
 	defer f.Close()
 
 	byID := make(map[string]*ReplayedJob)
 	order := []string{}
+	sweepByID := make(map[string]*ReplayedSweep)
+	sweepOrder := []string{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // results are large-ish lines
 	for sc.Scan() {
@@ -242,12 +303,39 @@ func replayJournal(path string) (*Replayed, []ReplayedJob, error) {
 			if _, ok := byID[rec.ID]; ok {
 				delete(byID, rec.ID)
 			}
+		case recSweepAccepted:
+			if rec.ID == "" || rec.SweepSpec == nil {
+				rep.Dropped++
+				continue
+			}
+			rs := &ReplayedSweep{
+				ID:    rec.ID,
+				Seq:   rec.Seq,
+				Hash:  rec.Hash,
+				Spec:  *rec.SweepSpec,
+				State: StateQueued,
+			}
+			rs.Submitted, _ = time.Parse(time.RFC3339Nano, rec.Submitted)
+			if _, dup := sweepByID[rec.ID]; !dup {
+				sweepOrder = append(sweepOrder, rec.ID)
+			}
+			sweepByID[rec.ID] = rs
+		case recSweepTerminal:
+			rs, ok := sweepByID[rec.ID]
+			if !ok {
+				continue
+			}
+			rs.State = rec.State
+			rs.Error = rec.Error
+			rs.Finished, _ = time.Parse(time.RFC3339Nano, rec.Finished)
+		case recSweepRemoved:
+			delete(sweepByID, rec.ID)
 		default:
 			rep.Dropped++
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("service: reading journal: %w", err)
+		return nil, fmt.Errorf("service: reading journal: %w", err)
 	}
 
 	jobs := make([]ReplayedJob, 0, len(byID))
@@ -268,13 +356,27 @@ func replayJournal(path string) (*Replayed, []ReplayedJob, error) {
 		}
 	}
 	rep.Jobs = jobs
-	return rep, jobs, nil
+
+	sweeps := make([]ReplayedSweep, 0, len(sweepByID))
+	for _, id := range sweepOrder {
+		if rs, ok := sweepByID[id]; ok {
+			sweeps = append(sweeps, *rs)
+		}
+	}
+	sort.SliceStable(sweeps, func(a, b int) bool { return sweeps[a].Seq < sweeps[b].Seq })
+	for i := range sweeps {
+		if sweeps[i].State == StateQueued {
+			rep.PendingSweeps++
+		}
+	}
+	rep.Sweeps = sweeps
+	return rep, nil
 }
 
 // compactJournal rewrites the log to exactly the live records, via a
 // temp file and an atomic rename so a crash mid-compaction leaves either
 // the old or the new journal, never a torn one.
-func compactJournal(path string, jobs []ReplayedJob) error {
+func compactJournal(path string, rep *Replayed) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".compact-*")
 	if err != nil {
@@ -283,8 +385,8 @@ func compactJournal(path string, jobs []ReplayedJob) error {
 	defer os.Remove(tmp.Name())
 	w := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(w)
-	for i := range jobs {
-		rj := &jobs[i]
+	for i := range rep.Jobs {
+		rj := &rep.Jobs[i]
 		spec := rj.Spec
 		if err := enc.Encode(journalRecord{
 			Type: recAccepted, ID: rj.ID, Seq: rj.Seq, Hash: rj.Hash, Spec: &spec,
@@ -297,6 +399,26 @@ func compactJournal(path string, jobs []ReplayedJob) error {
 				Type: recTerminal, ID: rj.ID, Hash: rj.Hash, State: rj.State,
 				Error: rj.Error, Attempts: rj.Attempts, Result: rj.Result,
 				Finished: rj.Finished.UTC().Format(time.RFC3339Nano),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range rep.Sweeps {
+		rs := &rep.Sweeps[i]
+		spec := rs.Spec
+		if err := enc.Encode(journalRecord{
+			Type: recSweepAccepted, ID: rs.ID, Seq: rs.Seq, Hash: rs.Hash,
+			SweepSpec: &spec,
+			Submitted: rs.Submitted.UTC().Format(time.RFC3339Nano),
+		}); err != nil {
+			return err
+		}
+		if rs.State.terminal() {
+			if err := enc.Encode(journalRecord{
+				Type: recSweepTerminal, ID: rs.ID, Hash: rs.Hash, State: rs.State,
+				Error:    rs.Error,
+				Finished: rs.Finished.UTC().Format(time.RFC3339Nano),
 			}); err != nil {
 				return err
 			}
@@ -331,7 +453,7 @@ func (m *Manager) Restore(rep *Replayed) error {
 	m.met.Inc("rrs_journal_compactions_total", 1)
 	m.met.Inc("rrs_journal_torn_lines_total", int64(rep.Dropped))
 	m.met.Inc("rrs_journal_replayed_jobs_total", int64(len(rep.Jobs)))
-	if len(rep.Jobs) == 0 {
+	if len(rep.Jobs) == 0 && len(rep.Sweeps) == 0 {
 		return nil
 	}
 	var errs []error
@@ -392,10 +514,19 @@ func (m *Manager) Restore(rep *Replayed) error {
 			m.inflight[j.hash] = j
 		}
 		m.mu.Unlock()
-		if err := m.queue.Push(j); err != nil {
+		if err := m.queue.forcePush(j); err != nil {
 			m.finish(j, StateFailed, fmt.Sprintf("journal replay: %v", err))
 			m.met.Inc("rrs_jobs_failed_total", 1)
 			errs = append(errs, fmt.Errorf("service: re-enqueueing %s: %w", j.id, err))
+		}
+	}
+	// Sweeps restore after jobs so the replayed result cache and the
+	// re-enqueued pending children are in place: a resumed sweep's feeder
+	// then coalesces onto the replayed jobs instead of duplicating them,
+	// and completed children come back as cache hits.
+	for i := range rep.Sweeps {
+		if err := m.restoreSweep(&rep.Sweeps[i]); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	return errors.Join(errs...)

@@ -51,7 +51,8 @@ type Job struct {
 	state    State
 	progress float64 // 0..1, driven by the sim progress hook
 	cacheHit bool
-	attempts int // completed run attempts (retries = attempts - 1)
+	child    bool // expanded from a sweep: runs through Options.RunChild
+	attempts int  // completed run attempts (retries = attempts - 1)
 	err      string
 	result   *sim.Result
 
@@ -213,6 +214,11 @@ type Options struct {
 	// Chaos tests wrap an executor with injected faults here; it is also
 	// the seam for alternative backends.
 	Run RunFunc
+	// RunChild, when non-nil, executes jobs expanded from a sweep
+	// instead of Run. The fleet layer hooks per-child rendezvous routing
+	// here (children route by their own content hash, so one sweep
+	// spreads across the fleet); nil runs children through Run.
+	RunChild RunFunc
 	// OnResult, when non-nil, observes every result this manager computes
 	// (or accepts as a work-stealing donation) the moment it enters the
 	// result cache, already Timeline- and Mitigation-stripped — exactly
@@ -240,6 +246,14 @@ type Manager struct {
 	closed   bool
 	draining bool // drain mode: intake refused, cancellations journal-requeue
 
+	// Sweep orchestration state: the tracked sweeps, the hash →
+	// running-sweep coalescing index, and the id sequence. Each running
+	// sweep owns one feeder/watcher goroutine counted by sweepWG.
+	sweeps        map[string]*Sweep
+	sweepInflight map[string]*Sweep
+	sweepSeq      uint64
+	sweepWG       sync.WaitGroup
+
 	busy    int64 // workers mid-run, under mu
 	workers sync.WaitGroup
 
@@ -251,7 +265,9 @@ type Manager struct {
 
 	// runJob is the simulation entry point; tests substitute a stub to
 	// make scheduling behaviour observable without real simulations.
-	runJob RunFunc
+	// runChild, when non-nil, replaces it for sweep-expanded jobs.
+	runJob   RunFunc
+	runChild RunFunc
 }
 
 // lastRunStats are per-run occupancy/stall aggregates derived from the
@@ -291,17 +307,20 @@ func NewManager(opts Options) *Manager {
 		opts.Metrics = NewMetrics()
 	}
 	m := &Manager{
-		opts:     opts,
-		queue:    newFIFO(opts.QueueDepth),
-		cache:    newResultCache(opts.CacheEntries),
-		met:      opts.Metrics,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		runJob:   RunSpec,
+		opts:          opts,
+		queue:         newFIFO(opts.QueueDepth),
+		cache:         newResultCache(opts.CacheEntries),
+		met:           opts.Metrics,
+		jobs:          make(map[string]*Job),
+		inflight:      make(map[string]*Job),
+		sweeps:        make(map[string]*Sweep),
+		sweepInflight: make(map[string]*Sweep),
+		runJob:        RunSpec,
 	}
 	if opts.Run != nil {
 		m.runJob = opts.Run
 	}
+	m.runChild = opts.RunChild
 	m.registerMetrics()
 	for i := 0; i < opts.Workers; i++ {
 		m.workers.Add(1)
@@ -376,6 +395,7 @@ func (m *Manager) registerMetrics() {
 		})
 	m.met.Gauge("rrs_cache_entries", "Results currently cached.",
 		func() float64 { return float64(m.cache.Len()) })
+	m.registerSweepMetrics()
 	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		state := s
 		m.met.Gauge("rrs_jobs_"+string(state),
@@ -483,8 +503,17 @@ func (m *Manager) journal(rec journalRecord) {
 // the job is queued FIFO. ErrQueueFull and ErrClosed report backpressure
 // and shutdown.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
+	j, _, err := m.submit(spec, false)
+	return j, err
+}
+
+// submit is Submit plus the sweep feeder's entry point: child marks the
+// job as sweep-expanded (it runs through Options.RunChild), and the
+// returned coalesced flag tells the feeder whether an existing job
+// absorbed the submission.
+func (m *Manager) submit(spec Spec, child bool) (j *Job, coalesced bool, err error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if m.opts.ForceParanoid {
 		spec.Paranoid = true
@@ -498,28 +527,29 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if m.draining {
 		m.mu.Unlock()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	if prior, ok := m.inflight[hash]; ok {
 		m.mu.Unlock()
 		m.met.Inc("rrs_jobs_submitted_total", 1)
 		m.met.Inc("rrs_jobs_coalesced_total", 1)
-		return prior, nil
+		return prior, true, nil
 	}
 	m.seq++
 	id := fmt.Sprintf("job-%06d", m.seq)
 	if m.opts.NodeID != "" {
 		id = m.opts.NodeID + "." + id
 	}
-	j := &Job{
+	j = &Job{
 		id:        id,
 		seq:       m.seq,
 		spec:      norm,
 		hash:      hash,
+		child:     child,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -542,7 +572,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		// Cache-hit jobs are not journaled: their result is already
 		// durable under the record of the job that computed it.
 		close(j.done)
-		return j, nil
+		return j, false, nil
 	}
 	m.met.Inc("rrs_cache_misses_total", 1)
 
@@ -557,7 +587,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mu.Lock()
 		delete(m.jobs, j.id)
 		m.mu.Unlock()
-		return nil, ErrOverloaded
+		return nil, false, ErrOverloaded
 	}
 
 	if err := m.queue.Push(j); err != nil {
@@ -568,13 +598,13 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mu.Lock()
 		delete(m.jobs, j.id)
 		m.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 	m.mu.Lock()
 	m.inflight[j.hash] = j
 	m.mu.Unlock()
 	m.journal(acceptedRecord(j))
-	return j, nil
+	return j, false, nil
 }
 
 // Get returns a job by id.
@@ -585,7 +615,11 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// List returns all tracked jobs in submission order.
+// List returns all tracked jobs in deterministic submission order. Seq
+// alone is not a total order — journal-restored jobs can tie (an old
+// log with no Seq field replays them all as 0) — so ties break by id,
+// never by map-iteration order, which must not leak into GET /v1/jobs
+// or into sweep aggregation.
 func (m *Manager) List() []*Job {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
@@ -593,8 +627,21 @@ func (m *Manager) List() []*Job {
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	sortBySeqThenID(jobs, func(j *Job) (uint64, string) { return j.seq, j.id })
 	return jobs
+}
+
+// sortBySeqThenID orders items by sequence number with an id tie-break,
+// the listing order shared by jobs and sweeps.
+func sortBySeqThenID[T any](items []T, key func(T) (uint64, string)) {
+	sort.Slice(items, func(a, b int) bool {
+		sa, ia := key(items[a])
+		sb, ib := key(items[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return ia < ib
+	})
 }
 
 // Cancel stops a queued or running job. Cancelling a terminal job is a
@@ -695,7 +742,7 @@ func (m *Manager) worker() {
 // injected chaos panic) becomes this job's error instead of the whole
 // process's crash. Panics are permanent — a deterministic engine panics
 // deterministically, so a retry would only panic again.
-func (m *Manager) safeRun(ctx context.Context, spec Spec,
+func (m *Manager) safeRun(ctx context.Context, fn RunFunc, spec Spec,
 	progress func(done, total int64)) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -703,7 +750,7 @@ func (m *Manager) safeRun(ctx context.Context, spec Spec,
 			err = fmt.Errorf("service: worker panic: %v", r)
 		}
 	}()
-	return m.runJob(ctx, spec, progress)
+	return fn(ctx, spec, progress)
 }
 
 // runOne executes one claimed job through its lifecycle.
@@ -754,7 +801,11 @@ func (m *Manager) runOne(j *Job) {
 		j.mu.Unlock()
 	}
 
-	res, err := m.safeRun(ctx, j.spec, progress)
+	fn := m.runJob
+	if j.child && m.runChild != nil {
+		fn = m.runChild
+	}
+	res, err := m.safeRun(ctx, fn, j.spec, progress)
 
 	m.mu.Lock()
 	m.busy--
@@ -967,6 +1018,11 @@ wait:
 		}
 	}
 	m.workers.Wait()
+	// Sweep feeders observe ErrDraining/ErrClosed and stop; watchers
+	// unblock once their children are cancelled above. Terminal sweep
+	// records are withheld under drain (like job records), so the next
+	// startup's replay resumes the sweeps too.
+	m.sweepWG.Wait()
 	if timedOut {
 		return ctx.Err()
 	}
@@ -1118,6 +1174,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		m.workers.Wait()
+		m.sweepWG.Wait()
 		close(drained)
 	}()
 	select {

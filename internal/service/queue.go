@@ -77,6 +77,22 @@ func (q *fifo) Pop() (j *Job, ok bool) {
 	return j, true
 }
 
+// forcePush appends j past the capacity bound. Journal replay uses it:
+// a restored pending job was already admitted once, and failing it
+// because the configured queue is smaller than the crashed backlog
+// would make restarts lossy. The overshoot is transient — workers drain
+// it before Submit admits anything new past the bound.
+func (q *fifo) forcePush(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
 // TryPop removes the oldest job without blocking; ok is false when the
 // queue is empty or closed. The work-stealing path uses it: a steal
 // must never block a handler on an empty queue.
