@@ -139,3 +139,44 @@ func TestResultByHashSurvivesCacheEviction(t *testing.T) {
 		t.Fatalf("IPC = %v, want 1", res.IPC)
 	}
 }
+
+// TestResultByHashSurvivesRemovalOfDuplicate: a cache-hit job shares
+// the computing job's hash; removing one of the duplicates must leave
+// the result reachable through the survivor even with the cache entry
+// evicted.
+func TestResultByHashSurvivesRemovalOfDuplicate(t *testing.T) {
+	m := stubManager(t, Options{Workers: 1, CacheEntries: 1},
+		func(_ context.Context, spec Spec, _ func(int64, int64)) (sim.Result, error) {
+			return sim.Result{IPC: float64(spec.Seed)}, nil
+		})
+	s1 := uniqueSpec(1)
+	j1, err := m.Submit(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	// Resubmission: a second done job with the same hash (cache hit).
+	j2, err := m.Submit(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, j2); !v.CacheHit {
+		t.Fatalf("resubmission was not a cache hit: %+v", v)
+	}
+	// Evict s1's cache entry, then remove the duplicate job.
+	j3, err := m.Submit(uniqueSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j3)
+	if err := m.Remove(j2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := m.ResultByHash(s1.Hash())
+	if !ok {
+		t.Fatalf("result lost after removing the duplicate job")
+	}
+	if res.IPC != 1 {
+		t.Fatalf("IPC = %v, want 1", res.IPC)
+	}
+}

@@ -498,6 +498,9 @@ func (m *Manager) Restore(rep *Replayed) error {
 				j.result = &res
 				j.progress = 1
 				m.cache.Put(j.hash, res)
+				m.mu.Lock()
+				m.doneByHash[j.hash] = j
+				m.mu.Unlock()
 			}
 			close(j.done)
 			continue

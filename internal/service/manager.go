@@ -239,9 +239,10 @@ type Manager struct {
 	cache *resultCache
 	met   *Metrics
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	inflight map[string]*Job // hash → queued/running job, for submit coalescing
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	inflight   map[string]*Job // hash → queued/running job, for submit coalescing
+	doneByHash map[string]*Job // hash → done job holding a result, for ResultByHash
 	seq      uint64
 	closed   bool
 	draining bool // drain mode: intake refused, cancellations journal-requeue
@@ -313,6 +314,7 @@ func NewManager(opts Options) *Manager {
 		met:           opts.Metrics,
 		jobs:          make(map[string]*Job),
 		inflight:      make(map[string]*Job),
+		doneByHash:    make(map[string]*Job),
 		sweeps:        make(map[string]*Sweep),
 		sweepInflight: make(map[string]*Sweep),
 		runJob:        RunSpec,
@@ -569,6 +571,9 @@ func (m *Manager) submit(spec Spec, child bool) (j *Job, coalesced bool, err err
 		j.result = &res
 		j.finished = time.Now()
 		j.mu.Unlock()
+		m.mu.Lock()
+		m.doneByHash[j.hash] = j
+		m.mu.Unlock()
 		// Cache-hit jobs are not journaled: their result is already
 		// durable under the record of the job that computed it.
 		close(j.done)
@@ -690,7 +695,31 @@ func (m *Manager) Remove(id string) error {
 	}
 	m.mu.Lock()
 	delete(m.jobs, id)
+	repoint := m.doneByHash[j.hash] == j
+	var sameHash []*Job
+	if repoint {
+		// Duplicate-hash done jobs exist (a cache-hit job shares the
+		// computing job's hash); keep one of the survivors indexed so
+		// ResultByHash still finds the result after this removal.
+		delete(m.doneByHash, j.hash)
+		for _, o := range m.jobs {
+			if o.hash == j.hash {
+				sameHash = append(sameHash, o)
+			}
+		}
+	}
 	m.mu.Unlock()
+	for _, o := range sameHash {
+		o.mu.Lock()
+		done := o.state == StateDone && o.result != nil
+		o.mu.Unlock()
+		if done {
+			m.mu.Lock()
+			m.doneByHash[j.hash] = o
+			m.mu.Unlock()
+			break
+		}
+	}
 	m.journal(journalRecord{Type: recRemoved, ID: id})
 	return nil
 }
@@ -901,6 +930,9 @@ func (m *Manager) finish(j *Job, state State, errMsg string, result ...*sim.Resu
 	j.mu.Unlock()
 	m.retire(j)
 	m.mu.Lock()
+	if state == StateDone && len(result) > 0 && result[0] != nil {
+		m.doneByHash[j.hash] = j
+	}
 	draining := m.draining
 	m.mu.Unlock()
 	if draining && state == StateCancelled {
@@ -1133,24 +1165,24 @@ func (m *Manager) DoneHashes() []string {
 }
 
 // ResultByHash returns a held result by content hash, consulting the
-// cache first and falling back to the job table — a done job's result
-// can outlive its cache entry under LRU pressure, and the repair loop
-// must still be able to re-replicate it.
+// cache first and falling back to the done-job index — a done job's
+// result can outlive its cache entry under LRU pressure, and the repair
+// loop (and sweep aggregation, once per unlinked child per poll) must
+// still find it without scanning the whole job table.
 func (m *Manager) ResultByHash(hash string) (sim.Result, bool) {
 	if res, ok := m.cache.Get(hash); ok {
 		return res, true
 	}
-	for _, j := range m.List() {
-		j.mu.Lock()
-		match := j.hash == hash && j.state == StateDone && j.result != nil
-		var res sim.Result
-		if match {
-			res = *j.result
-		}
-		j.mu.Unlock()
-		if match {
-			return res, true
-		}
+	m.mu.Lock()
+	j := m.doneByHash[hash]
+	m.mu.Unlock()
+	if j == nil {
+		return sim.Result{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone && j.result != nil {
+		return *j.result, true
 	}
 	return sim.Result{}, false
 }

@@ -53,13 +53,20 @@ type SweepAxes struct {
 	Workloads []string `json:"workloads,omitempty"`
 }
 
-// points multiplies the axis lengths (empty axes count 1).
+// points multiplies the axis lengths (empty axes count 1). The product
+// saturates at maxSweepChildren+1: lengths are >= 1 so it only grows,
+// and capping inside the loop keeps a pathological request (six long
+// axes fit well under the 1MB body bound) from overflowing int, wrapping
+// past the expansion guard, and flooding Expand.
 func (a SweepAxes) points() int {
 	n := 1
 	for _, l := range []int{len(a.Mitigations), len(a.Blacklists),
 		len(a.RowHammerThresholds), len(a.Scales), len(a.Seeds), len(a.Workloads)} {
 		if l > 0 {
 			n *= l
+			if n > maxSweepChildren {
+				return maxSweepChildren + 1
+			}
 		}
 	}
 	return n
@@ -98,9 +105,11 @@ func (ss SweepSpec) Hash() string {
 // same SweepSpec after a crash reproduces the same children in the
 // same order, which is what makes journaled sweeps resumable.
 func (ss SweepSpec) Expand() ([]Spec, error) {
-	if n := ss.Axes.points(); n > maxSweepChildren {
-		return nil, fmt.Errorf("service: sweep expands to %d children (max %d)",
-			n, maxSweepChildren)
+	if ss.Axes.points() > maxSweepChildren {
+		// points saturates at maxSweepChildren+1, so the true size may be
+		// far larger — report only the bound.
+		return nil, fmt.Errorf("service: sweep expands to more than %d children",
+			maxSweepChildren)
 	}
 	// orDefault shapes each axis as "sweep these values" or "keep base".
 	mits := ss.Axes.Mitigations
@@ -478,7 +487,15 @@ feed:
 			if err == nil {
 				sw.mu.Lock()
 				sw.children = append(sw.children, j)
+				cancelled := sw.cancelled
 				sw.mu.Unlock()
+				if cancelled {
+					// CancelSweep may have snapshotted the children before
+					// this link and missed the job we just submitted; cancel
+					// it here so a cancelled sweep never runs an extra child.
+					m.Cancel(j.ID())
+					break feed
+				}
 				if v := j.Snapshot(); v.CacheHit {
 					sw.mu.Lock()
 					sw.cacheHits++

@@ -89,6 +89,66 @@ func TestSweepExpandRejectsOversizedProduct(t *testing.T) {
 	}
 }
 
+// TestSweepPointsSaturatesOnOverflow: six 2048-entry axes multiply to
+// 2^66, which wraps a plain int to 0 and would slip past the
+// maxSweepChildren guard — points must saturate instead, and Expand
+// must refuse the sweep without iterating the product.
+func TestSweepPointsSaturatesOnOverflow(t *testing.T) {
+	axes := SweepAxes{
+		Mitigations:         make([]string, 2048),
+		Blacklists:          make([]uint32, 2048),
+		RowHammerThresholds: make([]int, 2048),
+		Scales:              make([]int, 2048),
+		Seeds:               make([]uint64, 2048),
+		Workloads:           make([]string, 2048),
+	}
+	if got := axes.points(); got != maxSweepChildren+1 {
+		t.Fatalf("points = %d, want saturation at %d", got, maxSweepChildren+1)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := (SweepSpec{Base: uniqueSpec(1), Axes: axes}).Expand()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("overflowing sweep accepted, want refusal")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Expand iterated an overflowed product instead of refusing up front")
+	}
+}
+
+// TestCancelSweepNeverLeavesAnUncancelledChild races CancelSweep
+// against the feeder. Children only ever finish by cancellation, so if
+// the feeder links a child the cancel snapshot missed and nobody
+// cancels it, the watcher — and this test — hangs on that child.
+func TestCancelSweepNeverLeavesAnUncancelledChild(t *testing.T) {
+	m := stubManager(t, Options{Workers: 2, CacheEntries: -1},
+		func(ctx context.Context, _ Spec, _ func(int64, int64)) (sim.Result, error) {
+			<-ctx.Done()
+			return sim.Result{}, ctx.Err()
+		})
+	for i := 0; i < 50; i++ {
+		base := uint64(4 * i)
+		sw, created, err := m.SubmitSweep(sweepOf(base+1, base+2, base+3, base+4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !created {
+			t.Fatalf("iteration %d coalesced onto a prior sweep", i)
+		}
+		go m.CancelSweep(sw.ID())
+		select {
+		case <-sw.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("cancelled sweep %s never finished: %+v",
+				sw.ID(), m.snapshotSweep(sw, true))
+		}
+	}
+}
+
 func TestSweepExpandRejectsInvalidChild(t *testing.T) {
 	ss := sweepOf(1)
 	ss.Axes.Workloads = []string{"doom"}
